@@ -1,0 +1,54 @@
+"""Shared configuration for the benchmark suite.
+
+Every figure benchmark runs the same harness the paper's evaluation uses, on a reduced
+profile by default so the whole suite finishes in a few minutes.  Set the environment
+variable ``REPRO_BENCH_PROFILE=paper`` to run the full 100-run sweeps at the paper's
+densities (this takes hours -- it is the configuration recorded in ``EXPERIMENTS.md``'s
+"full profile" runs), or ``REPRO_BENCH_PROFILE=smoke`` for a seconds-long sanity pass.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import SweepConfig, config_for_profile
+from repro.topology import FieldSpec
+
+#: Densities used by the default (quick) benchmark profile, chosen to keep the paper's
+#: x-axis shape (low / medium / high density) while staying laptop-friendly.
+QUICK_BANDWIDTH_DENSITIES = (10.0, 15.0, 20.0)
+QUICK_DELAY_DENSITIES = (5.0, 10.0, 15.0)
+
+
+def bench_profile() -> str:
+    return os.environ.get("REPRO_BENCH_PROFILE", "quick")
+
+
+def bench_config(metric_name: str) -> SweepConfig:
+    """The sweep configuration the figure benchmarks run under the active profile."""
+    profile = bench_profile()
+    if profile == "paper":
+        return config_for_profile("paper", metric_name)
+    if profile == "smoke":
+        return config_for_profile("smoke", metric_name)
+    densities = QUICK_BANDWIDTH_DENSITIES if metric_name == "bandwidth" else QUICK_DELAY_DENSITIES
+    return SweepConfig(
+        densities=densities,
+        runs=1,
+        pairs_per_run=4,
+        node_sample=60,
+        field=FieldSpec(width=1000.0, height=1000.0, radius=100.0),
+        seed=42,
+    )
+
+
+@pytest.fixture
+def bandwidth_sweep_config() -> SweepConfig:
+    return bench_config("bandwidth")
+
+
+@pytest.fixture
+def delay_sweep_config() -> SweepConfig:
+    return bench_config("delay")

@@ -1,0 +1,19 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's evaluation figures (6-9) from the command line.
+
+By default this runs the ``quick`` profile (a reduced sweep with the same shape as the
+paper's); pass ``--profile paper`` for the full 100-run evaluation (this takes hours) or
+``--figure N`` to run a single figure.  The same functionality is installed as the
+``repro-figures`` console script.
+
+Run with:  python examples/density_sweep.py --figure 6 --profile quick
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so that the package
+can be installed editable (``pip install -e . --no-use-pep517 --no-build-isolation``) in
+offline environments whose setuptools/pip lack PEP 660 editable-wheel support.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,12 @@
+"""The selection algorithms the paper compares FNBP against."""
+
+from repro.baselines.olsr_mpr import OlsrMprSelector
+from repro.baselines.qolsr import QolsrMpr1Selector, QolsrMpr2Selector
+from repro.baselines.topology_filtering import TopologyFilteringSelector
+
+__all__ = [
+    "OlsrMprSelector",
+    "QolsrMpr1Selector",
+    "QolsrMpr2Selector",
+    "TopologyFilteringSelector",
+]

@@ -1,0 +1,39 @@
+"""The original OLSR behaviour exposed as a selector baseline.
+
+In RFC 3626 the advertised set and the flooding set are one and the same MPR set, selected
+purely by two-hop coverage and blind to QoS.  This selector wraps
+:func:`repro.olsr.mpr.rfc3626_mpr` behind the common :class:`AnsSelector` interface so the
+evaluation harness can compare it with the QoS-aware selections on equal footing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.selection import AnsSelector, SelectionDecision, SelectionResult
+from repro.localview.view import LocalView
+from repro.metrics.base import Metric
+from repro.olsr.mpr import rfc3626_mpr
+
+
+@dataclass
+class OlsrMprSelector(AnsSelector):
+    """Plain RFC 3626 MPR selection used as the advertised set (QoS-unaware)."""
+
+    name = "olsr-mpr"
+
+    def select(self, view: LocalView, metric: Metric) -> SelectionResult:
+        mpr = rfc3626_mpr(view)
+        decision = SelectionDecision(
+            target=None,
+            chosen=None,
+            reason="rfc3626-greedy-coverage",
+            detail=(("selected", tuple(sorted(mpr))),),
+        )
+        return SelectionResult(
+            owner=view.owner,
+            selector_name=self.name,
+            metric_name=metric.name,
+            selected=mpr,
+            decisions=(decision,),
+        )

@@ -1,0 +1,145 @@
+"""The neighbor-selection framework shared by FNBP and every baseline.
+
+A *selector* consumes a node's :class:`~repro.localview.view.LocalView` and a
+:class:`~repro.metrics.base.Metric` and produces the set of neighbors the node will advertise
+in its TC messages (the paper's ANS / QANS, or the plain MPR set when the protocol does not
+distinguish the two).  Selectors also emit a decision trace so that examples, tests and the
+worked-figure walk-throughs can explain *why* each node was (not) selected.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, Optional, Tuple
+
+from repro.localview.view import LocalView
+from repro.metrics.base import Metric
+from repro.utils.ids import NodeId
+
+
+@dataclass(frozen=True)
+class SelectionDecision:
+    """One step of a selector's reasoning, kept for explainability.
+
+    Attributes
+    ----------
+    target:
+        The one- or two-hop neighbor being covered (or ``None`` for global steps such as the
+        RFC 3626 greedy rounds).
+    chosen:
+        The neighbor added to the advertised set at this step (``None`` when nothing was
+        added).
+    reason:
+        A short machine-readable tag, e.g. ``"direct-link-optimal"`` or ``"loop-guard"``.
+    detail:
+        Optional extra payload (candidate sets, best values) for human-readable reports.
+    """
+
+    target: Optional[NodeId]
+    chosen: Optional[NodeId]
+    reason: str
+    detail: Tuple[Tuple[str, object], ...] = ()
+
+    def detail_dict(self) -> Dict[str, object]:
+        """The ``detail`` payload as a dictionary."""
+        return dict(self.detail)
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """The advertised neighbor set chosen by a selector for one node."""
+
+    owner: NodeId
+    selector_name: str
+    metric_name: str
+    selected: FrozenSet[NodeId]
+    decisions: Tuple[SelectionDecision, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.selected)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self.selected
+
+    def explain(self) -> str:
+        """A multi-line human-readable account of the selection (used by examples)."""
+        lines = [
+            f"{self.selector_name} selection at node {self.owner} "
+            f"({self.metric_name}): {sorted(self.selected)}"
+        ]
+        for decision in self.decisions:
+            target = "-" if decision.target is None else str(decision.target)
+            chosen = "-" if decision.chosen is None else str(decision.chosen)
+            lines.append(f"  target {target:>4}: {decision.reason:<28} chosen={chosen}")
+        return "\n".join(lines)
+
+
+class AnsSelector(ABC):
+    """Interface of every advertised-neighbor-set selection algorithm."""
+
+    #: Registry / display name of the algorithm.
+    name: str = "abstract"
+
+    @abstractmethod
+    def select(self, view: LocalView, metric: Metric) -> SelectionResult:
+        """Run the selection at ``view.owner`` for the given metric."""
+
+    def select_all(self, network, metric: Metric) -> Dict[NodeId, SelectionResult]:
+        """Run the selection at every node of a network (convenience for experiments)."""
+        results: Dict[NodeId, SelectionResult] = {}
+        for node in network.nodes():
+            view = LocalView.from_network(network, node)
+            results[node] = self.select(view, metric)
+        return results
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+#: Factories for the selectors shipped with the library, keyed by registry name.
+_SELECTOR_FACTORIES: Dict[str, Callable[[], AnsSelector]] = {}
+
+
+def register_selector(name: str, factory: Callable[[], AnsSelector]) -> None:
+    """Register a selector factory under ``name`` (last registration wins)."""
+    _SELECTOR_FACTORIES[name] = factory
+
+
+def _ensure_builtin_selectors() -> None:
+    """Register the library's built-in selectors on first use.
+
+    Registration is lazy (triggered by :func:`available_selectors` / :func:`make_selector`)
+    because the built-in selectors live in modules that themselves import this one.
+    """
+    if _SELECTOR_FACTORIES:
+        return
+    from repro.baselines.olsr_mpr import OlsrMprSelector
+    from repro.baselines.qolsr import QolsrMpr1Selector, QolsrMpr2Selector
+    from repro.baselines.topology_filtering import TopologyFilteringSelector
+    from repro.core.fnbp import FnbpSelector, LoopGuardPolicy
+
+    register_selector("fnbp", FnbpSelector)
+    register_selector("fnbp-literal-guard", lambda: FnbpSelector(loop_guard=LoopGuardPolicy.LITERAL))
+    register_selector("fnbp-no-guard", lambda: FnbpSelector(loop_guard=LoopGuardPolicy.OFF))
+    register_selector("fnbp-two-hop-only", lambda: FnbpSelector(cover_one_hop=False))
+    register_selector("olsr-mpr", OlsrMprSelector)
+    register_selector("qolsr-mpr1", QolsrMpr1Selector)
+    register_selector("qolsr-mpr2", QolsrMpr2Selector)
+    register_selector("topology-filtering", TopologyFilteringSelector)
+
+
+def available_selectors() -> list[str]:
+    """Names of every registered selector."""
+    _ensure_builtin_selectors()
+    return sorted(_SELECTOR_FACTORIES)
+
+
+def make_selector(name: str) -> AnsSelector:
+    """Instantiate the selector registered under ``name``."""
+    _ensure_builtin_selectors()
+    try:
+        factory = _SELECTOR_FACTORIES[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown selector {name!r}; known: {available_selectors()}") from exc
+    return factory()

@@ -1,0 +1,59 @@
+"""The evaluation harness: density sweeps reproducing the paper's Figures 6-9."""
+
+from repro.experiments.ans_size import run_ans_size_experiment
+from repro.experiments.config import (
+    BANDWIDTH_DENSITIES,
+    DELAY_DENSITIES,
+    PAPER_SELECTORS,
+    SweepConfig,
+    config_for_profile,
+    paper_config,
+    quick_config,
+    smoke_config,
+)
+from repro.experiments.figures import (
+    FIGURES,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    run_all_figures,
+    run_figure,
+)
+from repro.experiments.overhead import qos_overhead, run_overhead_experiment
+from repro.experiments.reporting import render_report, write_json, write_report
+from repro.experiments.results import ExperimentResult, Series, SeriesPoint
+from repro.experiments.runner import Trial, build_trial, iter_trials
+from repro.experiments.stats import Summary, summarize
+
+__all__ = [
+    "SweepConfig",
+    "paper_config",
+    "quick_config",
+    "smoke_config",
+    "config_for_profile",
+    "BANDWIDTH_DENSITIES",
+    "DELAY_DENSITIES",
+    "PAPER_SELECTORS",
+    "run_ans_size_experiment",
+    "run_overhead_experiment",
+    "qos_overhead",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "run_figure",
+    "run_all_figures",
+    "FIGURES",
+    "ExperimentResult",
+    "Series",
+    "SeriesPoint",
+    "Summary",
+    "summarize",
+    "Trial",
+    "build_trial",
+    "iter_trials",
+    "render_report",
+    "write_report",
+    "write_json",
+]

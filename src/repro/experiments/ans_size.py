@@ -1,0 +1,78 @@
+"""Advertised-set size experiment (the paper's Figures 6 and 7).
+
+For every density and every protocol, measure the mean number of neighbors a node has to
+advertise in its TC messages: the MPR set for original QOLSR (which uses a single set for
+flooding and routing) and the QANS for topology filtering and FNBP (which keep the RFC 3626
+MPR set separately for flooding).  The paper's headline observations, which the benchmark
+suite checks qualitatively, are that FNBP's set is the smallest and stays roughly constant
+with density while QOLSR's keeps growing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.config import SweepConfig
+from repro.experiments.results import ExperimentResult, SeriesPoint
+from repro.experiments.runner import build_trial
+from repro.experiments.stats import summarize
+from repro.metrics import Metric
+
+
+def run_ans_size_experiment(
+    config: SweepConfig,
+    metric: Metric,
+    experiment_id: str = "fig6",
+    title: str = "Size of the advertised set",
+    progress: Optional[callable] = None,
+) -> ExperimentResult:
+    """Run the advertised-set-size sweep and return one series per selector.
+
+    ``progress`` (if given) is called with a short human-readable string after each trial;
+    the CLI uses it to show sweep progress.
+    """
+    result = ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        metric_name=metric.name,
+        x_label="density",
+        y_label="advertised neighbors per node",
+    )
+    per_selector_sizes: dict[str, dict[float, list[float]]] = {
+        name: {density: [] for density in config.densities} for name in config.selectors
+    }
+
+    for density in config.densities:
+        for run_index in range(config.runs):
+            trial = build_trial(config, metric, density, run_index)
+            if len(trial.network) == 0:
+                continue
+            sampled = set(trial.sample_nodes(config.node_sample, "ans-size-sample"))
+            for selector_name in config.selectors:
+                selections = _selections_for_sample(trial, selector_name, sampled)
+                sizes = [float(len(selection.selected)) for selection in selections]
+                per_selector_sizes[selector_name][density].extend(sizes)
+            if progress is not None:
+                progress(
+                    f"[{experiment_id}] density={density:g} run={run_index + 1}/{config.runs} "
+                    f"nodes={len(trial.network)}"
+                )
+
+    for selector_name in config.selectors:
+        for density in config.densities:
+            summary = summarize(per_selector_sizes[selector_name][density])
+            result.add_point(selector_name, SeriesPoint(density=density, summary=summary))
+
+    if config.node_sample is not None:
+        result.add_note(f"averaged over a sample of up to {config.node_sample} nodes per topology")
+    result.add_note(f"{config.runs} run(s) per density; seed={config.seed}")
+    return result
+
+
+def _selections_for_sample(trial, selector_name: str, sampled: set) -> Sequence:
+    """Selection results for the sampled nodes only (avoids running selectors network-wide)."""
+    from repro.core.selection import make_selector
+
+    selector = make_selector(selector_name)
+    views = trial.views()
+    return [selector.select(views[node], trial.metric) for node in sorted(sampled)]

@@ -1,0 +1,77 @@
+"""Command-line interface for regenerating the paper's figures.
+
+Installed as ``repro-figures`` (see ``pyproject.toml``).  Examples::
+
+    repro-figures --figure 6 --profile quick
+    repro-figures --all --profile paper --runs 100 --output results.txt --json results.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, Optional
+
+from repro.experiments.config import config_for_profile
+from repro.experiments.figures import FIGURES, run_figure
+from repro.experiments.reporting import render_report, write_json, write_report
+from repro.experiments.results import ExperimentResult
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-figures",
+        description="Regenerate the evaluation figures of the QOLSR/FNBP paper.",
+    )
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--figure", type=int, choices=sorted(FIGURES), help="figure number to run")
+    group.add_argument("--all", action="store_true", help="run every figure")
+    parser.add_argument(
+        "--profile",
+        choices=("paper", "quick", "smoke"),
+        default="quick",
+        help="parameter profile (paper = 100 runs at the paper's densities)",
+    )
+    parser.add_argument("--runs", type=int, default=None, help="override the number of runs per density")
+    parser.add_argument("--pairs", type=int, default=None, help="override source/destination pairs per run")
+    parser.add_argument("--seed", type=int, default=None, help="override the root random seed")
+    parser.add_argument("--output", default=None, help="write the text report to this file")
+    parser.add_argument("--json", dest="json_output", default=None, help="write results as JSON to this file")
+    parser.add_argument("--quiet", action="store_true", help="do not print per-run progress")
+    return parser
+
+
+def _config_for(args: argparse.Namespace, metric_name: str):
+    config = config_for_profile(args.profile, metric_name)
+    overrides = {}
+    if args.runs is not None:
+        overrides["runs"] = args.runs
+    if args.pairs is not None:
+        overrides["pairs_per_run"] = args.pairs
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    return config.with_overrides(**overrides) if overrides else config
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    progress = None if args.quiet else lambda message: print(message, file=sys.stderr)
+
+    figure_numbers = sorted(FIGURES) if args.all else [args.figure]
+    results: Dict[int, ExperimentResult] = {}
+    for number in figure_numbers:
+        metric_name = "bandwidth" if number in (6, 8) else "delay"
+        config = _config_for(args, metric_name)
+        results[number] = run_figure(number, config, progress=progress)
+
+    report = render_report(results, header=f"profile={args.profile}")
+    print(report)
+    if args.output:
+        write_report(results, args.output, header=f"profile={args.profile}")
+    if args.json_output:
+        write_json(results, args.json_output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution guard
+    raise SystemExit(main())

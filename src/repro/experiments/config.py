@@ -1,0 +1,115 @@
+"""Experiment configuration.
+
+The paper's simulation settings (Section IV.A): nodes deployed in a 1000 x 1000 square by a
+Poisson point process with target mean degree δ, communication radius 100, link weights drawn
+uniformly at random in a fixed interval, 100 independent runs, and one random
+source/destination pair per run.  :func:`paper_config` reproduces those settings; the
+``quick`` profile keeps the same shape but trims run counts and densities so the whole
+benchmark suite finishes in minutes on a laptop (the figure shapes are already stable there).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from repro.topology.generators import PAPER_FIELD, FieldSpec
+from repro.utils.validation import require_positive
+
+#: Densities of the bandwidth-metric figures (Figures 6 and 8).
+BANDWIDTH_DENSITIES: Tuple[float, ...] = (10, 15, 20, 25, 30, 35)
+
+#: Densities of the delay-metric figures (Figures 7 and 9).
+DELAY_DENSITIES: Tuple[float, ...] = (5, 10, 15, 20, 25, 30)
+
+#: The selectors every figure compares, in the paper's legend order.
+PAPER_SELECTORS: Tuple[str, ...] = ("qolsr-mpr2", "topology-filtering", "fnbp")
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """Parameters of one density sweep.
+
+    Attributes
+    ----------
+    densities:
+        Mean node degrees to sweep (the x axis of every figure).
+    runs:
+        Number of independent topologies per density (the paper uses 100).
+    pairs_per_run:
+        Source/destination pairs evaluated per topology in the overhead experiments (the
+        paper uses 1; more pairs per topology amortize the selection cost without changing
+        the expectation being estimated).
+    node_sample:
+        In the advertised-set-size experiments, how many nodes per topology to average over
+        (``None`` = all nodes, as in the paper; a sample keeps the quick profile fast).
+    field:
+        Deployment area and radio range.
+    weight_low / weight_high:
+        The fixed interval the link weights are drawn from.
+    seed:
+        Root seed; every topology, weight and pair draw is derived from it deterministically.
+    selectors:
+        Registry names of the selection algorithms to compare.
+    """
+
+    densities: Tuple[float, ...] = BANDWIDTH_DENSITIES
+    runs: int = 100
+    pairs_per_run: int = 1
+    node_sample: Optional[int] = None
+    field: FieldSpec = field(default_factory=lambda: PAPER_FIELD)
+    weight_low: float = 1.0
+    weight_high: float = 10.0
+    seed: int = 42
+    selectors: Tuple[str, ...] = PAPER_SELECTORS
+
+    def __post_init__(self) -> None:
+        if not self.densities:
+            raise ValueError("at least one density is required")
+        for density in self.densities:
+            require_positive(density, "density")
+        require_positive(self.runs, "runs")
+        require_positive(self.pairs_per_run, "pairs_per_run")
+        if self.node_sample is not None:
+            require_positive(self.node_sample, "node_sample")
+        require_positive(self.weight_high, "weight_high")
+        if self.weight_low <= 0 or self.weight_low > self.weight_high:
+            raise ValueError("weights must satisfy 0 < weight_low <= weight_high")
+
+    def with_overrides(self, **overrides) -> "SweepConfig":
+        """A copy of the configuration with the given fields replaced."""
+        return replace(self, **overrides)
+
+
+def paper_config(metric_name: str = "bandwidth") -> SweepConfig:
+    """The paper's full configuration for the given metric family."""
+    densities = BANDWIDTH_DENSITIES if metric_name == "bandwidth" else DELAY_DENSITIES
+    return SweepConfig(densities=densities, runs=100, pairs_per_run=1, node_sample=None)
+
+
+def quick_config(metric_name: str = "bandwidth") -> SweepConfig:
+    """A reduced configuration with the same shape, for CI and the benchmark suite."""
+    densities = (10.0, 15.0, 20.0) if metric_name == "bandwidth" else (5.0, 10.0, 15.0)
+    return SweepConfig(densities=densities, runs=3, pairs_per_run=3, node_sample=60)
+
+
+def smoke_config(metric_name: str = "bandwidth") -> SweepConfig:
+    """A tiny configuration used by the unit tests (seconds, not minutes)."""
+    densities = (8.0,) if metric_name == "bandwidth" else (6.0,)
+    return SweepConfig(
+        densities=densities,
+        runs=1,
+        pairs_per_run=2,
+        node_sample=20,
+        field=FieldSpec(width=400.0, height=400.0, radius=100.0),
+    )
+
+
+def config_for_profile(profile: str, metric_name: str = "bandwidth") -> SweepConfig:
+    """Look up a configuration by profile name (``paper``, ``quick`` or ``smoke``)."""
+    factories = {"paper": paper_config, "quick": quick_config, "smoke": smoke_config}
+    try:
+        factory = factories[profile]
+    except KeyError as exc:
+        raise KeyError(f"unknown profile {profile!r}; known: {sorted(factories)}") from exc
+    return factory(metric_name)

@@ -1,0 +1,100 @@
+"""One entry point per figure of the paper's evaluation section.
+
+======  =====================================================  ==========  ==============
+Figure  What it shows                                          Metric      Harness
+======  =====================================================  ==========  ==============
+6       advertised-set size per node vs density                bandwidth   :func:`figure6`
+7       advertised-set size per node vs density                delay       :func:`figure7`
+8       bandwidth overhead vs the centralized optimum          bandwidth   :func:`figure8`
+9       delay overhead vs the centralized optimum              delay       :func:`figure9`
+======  =====================================================  ==========  ==============
+
+Each function accepts an explicit :class:`SweepConfig` or a profile name (``"paper"``,
+``"quick"``, ``"smoke"``) and returns an :class:`ExperimentResult` whose text table is what
+``EXPERIMENTS.md`` records and what the CLI prints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from repro.experiments.ans_size import run_ans_size_experiment
+from repro.experiments.config import SweepConfig, config_for_profile
+from repro.experiments.overhead import run_overhead_experiment
+from repro.experiments.results import ExperimentResult
+from repro.metrics import BandwidthMetric, DelayMetric
+
+ConfigLike = Union[SweepConfig, str, None]
+
+
+def _resolve(config: ConfigLike, metric_name: str) -> SweepConfig:
+    if isinstance(config, SweepConfig):
+        return config
+    profile = config or "quick"
+    return config_for_profile(profile, metric_name)
+
+
+def figure6(config: ConfigLike = None, progress=None) -> ExperimentResult:
+    """Figure 6: size of the advertised set, bandwidth metric."""
+    resolved = _resolve(config, "bandwidth")
+    return run_ans_size_experiment(
+        resolved,
+        BandwidthMetric(),
+        experiment_id="fig6",
+        title="Size of the set advertised in TC messages (bandwidth)",
+        progress=progress,
+    )
+
+
+def figure7(config: ConfigLike = None, progress=None) -> ExperimentResult:
+    """Figure 7: size of the advertised set, delay metric."""
+    resolved = _resolve(config, "delay")
+    return run_ans_size_experiment(
+        resolved,
+        DelayMetric(),
+        experiment_id="fig7",
+        title="Size of the set advertised in TC messages (delay)",
+        progress=progress,
+    )
+
+
+def figure8(config: ConfigLike = None, progress=None) -> ExperimentResult:
+    """Figure 8: bandwidth overhead compared to the centralized optimal paths."""
+    resolved = _resolve(config, "bandwidth")
+    return run_overhead_experiment(
+        resolved,
+        BandwidthMetric(),
+        experiment_id="fig8",
+        title="Bandwidth overhead vs centralized optimum",
+        progress=progress,
+    )
+
+
+def figure9(config: ConfigLike = None, progress=None) -> ExperimentResult:
+    """Figure 9: delay overhead compared to the centralized optimal paths."""
+    resolved = _resolve(config, "delay")
+    return run_overhead_experiment(
+        resolved,
+        DelayMetric(),
+        experiment_id="fig9",
+        title="Delay overhead vs centralized optimum",
+        progress=progress,
+    )
+
+
+#: The figure harnesses keyed by figure number.
+FIGURES = {6: figure6, 7: figure7, 8: figure8, 9: figure9}
+
+
+def run_figure(number: int, config: ConfigLike = None, progress=None) -> ExperimentResult:
+    """Run the harness for one figure by number (6, 7, 8 or 9)."""
+    try:
+        harness = FIGURES[number]
+    except KeyError as exc:
+        raise KeyError(f"the paper has no result figure {number}; choose one of {sorted(FIGURES)}") from exc
+    return harness(config, progress=progress)
+
+
+def run_all_figures(config: ConfigLike = None, progress=None) -> Dict[int, ExperimentResult]:
+    """Run every figure harness and return the results keyed by figure number."""
+    return {number: run_figure(number, config, progress=progress) for number in sorted(FIGURES)}

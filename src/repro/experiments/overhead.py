@@ -1,0 +1,102 @@
+"""QoS-overhead experiment (the paper's Figures 8 and 9).
+
+For every density, generate topologies, pick random source/destination pairs and compare the
+QoS value achieved when routing hop-by-hop over each protocol's advertised topology against
+the optimal value achieved by a centralized QoS-weighted Dijkstra on the full graph:
+
+* bandwidth overhead  = (b* - b) / b*   (how much of the optimal bandwidth was given up),
+* delay overhead      = (d - d*) / d*   (how much extra delay was incurred),
+
+exactly the paper's definitions.  Pairs whose packet is not delivered (routing loop or no
+advertised route) are excluded from the overhead mean and reported separately through the
+per-point ``delivery_ratio`` extra -- the paper does not report failures, and with the
+default FNBP guard none are expected.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.config import SweepConfig
+from repro.experiments.results import ExperimentResult, SeriesPoint
+from repro.experiments.runner import build_trial
+from repro.experiments.stats import summarize
+from repro.metrics import Metric, MetricKind
+from repro.routing.hop_by_hop import HopByHopRouter
+from repro.routing.optimal import optimal_route
+
+
+def qos_overhead(metric: Metric, achieved: float, optimal: float) -> float:
+    """The paper's overhead of an achieved path value relative to the optimal value."""
+    if optimal == 0:
+        return float("nan")
+    if metric.kind is MetricKind.CONCAVE:
+        return (optimal - achieved) / optimal
+    return (achieved - optimal) / optimal
+
+
+def run_overhead_experiment(
+    config: SweepConfig,
+    metric: Metric,
+    experiment_id: str = "fig8",
+    title: str = "QoS overhead vs the centralized optimum",
+    progress: Optional[callable] = None,
+) -> ExperimentResult:
+    """Run the overhead sweep and return one series per selector."""
+    result = ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        metric_name=metric.name,
+        x_label="density",
+        y_label=f"{metric.name} overhead",
+    )
+    overheads: dict[str, dict[float, list[float]]] = {
+        name: {density: [] for density in config.densities} for name in config.selectors
+    }
+    deliveries: dict[str, dict[float, list[float]]] = {
+        name: {density: [] for density in config.densities} for name in config.selectors
+    }
+
+    for density in config.densities:
+        for run_index in range(config.runs):
+            trial = build_trial(config, metric, density, run_index)
+            if len(trial.network) < 2:
+                continue
+            pairs = trial.sample_pairs(config.pairs_per_run)
+            for selector_name in config.selectors:
+                advertised = trial.advertised_topology(selector_name)
+                router = HopByHopRouter(trial.network, advertised, metric)
+                for source, destination in pairs:
+                    optimal = optimal_route(trial.network, source, destination, metric)
+                    if not optimal.reachable or not metric.is_usable(optimal.value):
+                        continue
+                    outcome = router.link_state_route(source, destination)
+                    deliveries[selector_name][density].append(1.0 if outcome.delivered else 0.0)
+                    if outcome.delivered:
+                        overheads[selector_name][density].append(
+                            qos_overhead(metric, outcome.value, optimal.value)
+                        )
+            if progress is not None:
+                progress(
+                    f"[{experiment_id}] density={density:g} run={run_index + 1}/{config.runs} "
+                    f"nodes={len(trial.network)}"
+                )
+
+    for selector_name in config.selectors:
+        for density in config.densities:
+            summary = summarize(overheads[selector_name][density])
+            delivery = summarize(deliveries[selector_name][density])
+            result.add_point(
+                selector_name,
+                SeriesPoint(
+                    density=density,
+                    summary=summary,
+                    extra={"delivery_ratio": delivery.mean, "attempts": float(delivery.count)},
+                ),
+            )
+
+    result.add_note(
+        f"{config.runs} run(s) x {config.pairs_per_run} pair(s) per density; seed={config.seed}"
+    )
+    result.add_note("overhead averaged over delivered packets; see delivery_ratio per point")
+    return result

@@ -1,0 +1,125 @@
+"""Shared plumbing of the evaluation harness.
+
+One *trial* = one density, one run index, one random topology with freshly drawn link
+weights.  The runner builds the topology exactly as the paper describes (Poisson deployment,
+uniform weights), constructs every node's local view once, and runs each selector on those
+shared views, so that the algorithms are compared on strictly identical inputs (the paper:
+"Each approach is run on the same topology with the same source and destination").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.selection import AnsSelector, SelectionResult, make_selector
+from repro.experiments.config import SweepConfig
+from repro.localview.view import LocalView
+from repro.metrics import Metric, UniformWeightAssigner
+from repro.routing.advertised import AdvertisedTopology, build_advertised_topology
+from repro.topology.generators import PoissonNetworkGenerator
+from repro.topology.network import Network
+from repro.utils.ids import NodeId
+from repro.utils.seeding import spawn_rng
+
+
+@dataclass
+class Trial:
+    """One generated topology, with lazily built local views and per-selector selections."""
+
+    config: SweepConfig
+    metric: Metric
+    density: float
+    run_index: int
+    network: Network
+    _views: Optional[Dict[NodeId, LocalView]] = None
+    _selections: Dict[str, Dict[NodeId, SelectionResult]] = field(default_factory=dict)
+    _advertised: Dict[str, AdvertisedTopology] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ views
+
+    def views(self) -> Dict[NodeId, LocalView]:
+        """Every node's local view (built once, shared by all selectors)."""
+        if self._views is None:
+            self._views = {
+                node: LocalView.from_network(self.network, node) for node in self.network.nodes()
+            }
+        return self._views
+
+    # ------------------------------------------------------------------ selections
+
+    def selections(self, selector_name: str) -> Dict[NodeId, SelectionResult]:
+        """Per-node selection results of one selector (cached)."""
+        if selector_name not in self._selections:
+            selector = make_selector(selector_name)
+            views = self.views()
+            self._selections[selector_name] = {
+                node: selector.select(view, self.metric) for node, view in views.items()
+            }
+        return self._selections[selector_name]
+
+    def advertised_topology(self, selector_name: str) -> AdvertisedTopology:
+        """The network-wide advertised topology induced by one selector (cached)."""
+        if selector_name not in self._advertised:
+            self._advertised[selector_name] = build_advertised_topology(
+                self.network, self.selections(selector_name)
+            )
+        return self._advertised[selector_name]
+
+    # ------------------------------------------------------------------ sampling
+
+    def sample_nodes(self, count: Optional[int], purpose: str) -> List[NodeId]:
+        """A deterministic sample of nodes (all of them when ``count`` is None or large)."""
+        nodes = self.network.nodes()
+        if count is None or count >= len(nodes):
+            return nodes
+        rng = spawn_rng(self.config.seed, purpose, self.density, self.run_index)
+        return sorted(rng.sample(nodes, count))
+
+    def sample_pairs(self, count: int) -> List[Tuple[NodeId, NodeId]]:
+        """Random source/destination pairs within the (connected) topology."""
+        nodes = self.network.nodes()
+        if len(nodes) < 2:
+            return []
+        rng = spawn_rng(self.config.seed, "pairs", self.density, self.run_index)
+        pairs: List[Tuple[NodeId, NodeId]] = []
+        for _ in range(count):
+            source, destination = rng.sample(nodes, 2)
+            pairs.append((source, destination))
+        return pairs
+
+
+def build_trial(config: SweepConfig, metric: Metric, density: float, run_index: int) -> Trial:
+    """Generate the topology of one trial, following the paper's simulation settings.
+
+    The topology is restricted to its largest connected component so that every sampled
+    source/destination pair has at least one path (the paper routes between randomly chosen
+    nodes and reports QoS overheads, which presumes reachability).
+    """
+    assigner = UniformWeightAssigner(
+        metric=metric,
+        low=config.weight_low,
+        high=config.weight_high,
+        seed=config.seed,
+    )
+    generator = PoissonNetworkGenerator(
+        field=config.field,
+        degree=density,
+        seed=config.seed,
+        weight_assigners=(assigner,),
+        restrict_to_largest_component=True,
+    )
+    network = generator.generate(run_index)
+    return Trial(
+        config=config,
+        metric=metric,
+        density=density,
+        run_index=run_index,
+        network=network,
+    )
+
+
+def iter_trials(config: SweepConfig, metric: Metric, density: float) -> Iterable[Trial]:
+    """All trials of one density, in run order."""
+    for run_index in range(config.runs):
+        yield build_trial(config, metric, density, run_index)

@@ -1,0 +1,60 @@
+"""Summary statistics used by the evaluation harness.
+
+Kept dependency-light (no numpy required at call sites) and explicit about edge cases: the
+overhead experiments can produce empty samples (e.g. every routing attempt at a density
+failed), and those must surface as ``nan`` rather than crash or silently become zero.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean / spread summary of one sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean (nan for empty samples)."""
+        if self.count == 0:
+            return math.nan
+        if self.count == 1:
+            return 0.0
+        return self.std / math.sqrt(self.count)
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation confidence interval for the mean."""
+        if self.count == 0:
+            return (math.nan, math.nan)
+        half_width = z * self.stderr
+        return (self.mean - half_width, self.mean + half_width)
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Summarize a sample of real values (``nan``-free input expected)."""
+    data: Sequence[float] = [float(value) for value in values]
+    if not data:
+        return Summary(count=0, mean=math.nan, std=math.nan, minimum=math.nan, maximum=math.nan)
+    mean = sum(data) / len(data)
+    if len(data) == 1:
+        std = 0.0
+    else:
+        variance = sum((value - mean) ** 2 for value in data) / (len(data) - 1)
+        std = math.sqrt(variance)
+    return Summary(count=len(data), mean=mean, std=std, minimum=min(data), maximum=max(data))
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """A guarded ratio: ``nan`` when the denominator is zero."""
+    if denominator == 0:
+        return math.nan
+    return numerator / denominator

@@ -1,0 +1,407 @@
+"""QoS-weighted best paths and first-node-on-best-path sets.
+
+This is the computational core every selection algorithm relies on:
+
+* :func:`best_values_from` -- a single-source "best value" computation (a generalized
+  Dijkstra) that works for both metric families: additive metrics run the classical shortest
+  path, concave metrics run the widest/bottleneck path.  Both have the label-setting property
+  (the popped label is final) because path values never improve when a path is extended.
+* :func:`first_hops_to` -- the paper's ``fP_BW(u, v)`` / ``fP_D(u, v)``: the set of the
+  owner's one-hop neighbors that are the first node of at least one QoS-optimal simple path
+  from the owner to ``v`` inside the owner's local view.
+* :func:`enumerate_best_paths` -- explicit enumeration of all optimal simple paths (used by
+  tests and the worked-example walk-throughs, not by the selection algorithms themselves).
+
+The first-hop computation uses the decomposition: a simple path from ``u`` starting with the
+link ``(u, w)`` has value ``combine(weight(u, w), best(w → v in G \\ {u}))``.  Removing ``u``
+is what enforces simplicity at the first hop; for both metric families the best simple path
+value equals the best walk value (weights are non-negative / composition is monotone), so the
+inner computation can use the label-setting solver.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.metrics.base import Metric, MetricKind
+from repro.localview.view import LocalView
+from repro.utils.ids import NodeId
+
+
+def best_values_from(
+    graph: nx.Graph,
+    source: NodeId,
+    metric: Metric,
+    excluded: Iterable[NodeId] = (),
+) -> Dict[NodeId, float]:
+    """Best path value from ``source`` to every reachable node of ``graph``.
+
+    ``excluded`` nodes are treated as absent (neither traversed nor reported).  The source
+    itself is reported with the metric's identity value.  Unreachable nodes are simply not in
+    the returned mapping.
+    """
+    excluded_set = set(excluded)
+    if source in excluded_set or source not in graph:
+        return {}
+    best: Dict[NodeId, float] = {}
+    counter = 0  # tie-breaker so heap entries never compare nodes of different types
+    heap: List[Tuple[object, int, NodeId, float]] = [(metric.sort_key(metric.identity), counter, source, metric.identity)]
+    while heap:
+        _, __, node, value = heapq.heappop(heap)
+        if node in best:
+            continue
+        best[node] = value
+        for neighbor in graph.neighbors(node):
+            if neighbor in best or neighbor in excluded_set:
+                continue
+            link_value = metric.link_value_from_attributes(graph.edges[node, neighbor])
+            candidate = metric.combine(value, link_value)
+            counter += 1
+            heapq.heappush(heap, (metric.sort_key(candidate), counter, neighbor, candidate))
+    return best
+
+
+def best_value_between(
+    graph: nx.Graph,
+    source: NodeId,
+    target: NodeId,
+    metric: Metric,
+    excluded: Iterable[NodeId] = (),
+) -> float:
+    """Best path value between two nodes (the metric's ``worst`` when unreachable)."""
+    if target not in graph:
+        return metric.worst
+    return best_values_from(graph, source, metric, excluded).get(target, metric.worst)
+
+
+@dataclass(frozen=True)
+class FirstHopResult:
+    """The outcome of a first-hop-on-best-path computation for one target.
+
+    Attributes
+    ----------
+    target:
+        The node the owner wants to reach.
+    best_value:
+        The QoS value of the best path inside the local view (the metric's ``worst`` when
+        the target is unreachable in the view, which cannot happen for genuine one- and
+        two-hop neighbors).
+    first_hops:
+        The paper's ``fP(u, v)``: every one-hop neighbor that starts at least one optimal
+        path.  Empty exactly when ``best_value`` is the metric's worst.
+    """
+
+    target: NodeId
+    best_value: float
+    first_hops: FrozenSet[NodeId]
+
+    @property
+    def reachable(self) -> bool:
+        return bool(self.first_hops)
+
+    def direct_link_is_optimal(self) -> bool:
+        """True when the target itself is among the optimal first hops.
+
+        For a one-hop neighbor this means the direct link is (one of) the best path(s), which
+        is precisely the condition under which FNBP's step 1 selects nothing.
+        """
+        return self.target in self.first_hops
+
+
+def first_hops_to(view: LocalView, target: NodeId, metric: Metric) -> FirstHopResult:
+    """Compute ``fP(u, target)`` -- the first nodes of all QoS-optimal paths in ``G_u``.
+
+    ``target`` must be a known node other than the owner (normally a one- or two-hop
+    neighbor).  The result's ``first_hops`` are always one-hop neighbors of the owner.
+    """
+    owner = view.owner
+    if target == owner:
+        raise ValueError("the owner trivially reaches itself; first hops are undefined")
+    if target not in view.graph:
+        return FirstHopResult(target=target, best_value=metric.worst, first_hops=frozenset())
+
+    # Best values from the target towards every node, with the owner removed.  Computing from
+    # the target side gives, for every neighbor w of the owner, the best value of a
+    # (owner-free) path w → target in one solver run instead of one run per neighbor.
+    from_target = best_values_from(view.graph, target, metric, excluded=(owner,))
+
+    candidate_values: Dict[NodeId, float] = {}
+    for neighbor in view.one_hop:
+        link_value = view.direct_link_value(neighbor, metric)
+        if neighbor == target:
+            remainder = metric.identity
+        elif neighbor in from_target:
+            remainder = from_target[neighbor]
+        else:
+            continue  # target unreachable from this neighbor without going through the owner
+        path_start = metric.combine(metric.identity, link_value)
+        candidate_values[neighbor] = metric.combine(path_start, remainder)
+
+    if not candidate_values:
+        return FirstHopResult(target=target, best_value=metric.worst, first_hops=frozenset())
+
+    best_value = metric.optimum(candidate_values.values())
+    first_hops = frozenset(
+        neighbor
+        for neighbor, value in candidate_values.items()
+        if metric.values_equal(value, best_value)
+    )
+    return FirstHopResult(target=target, best_value=best_value, first_hops=first_hops)
+
+
+def all_first_hops(
+    view: LocalView,
+    metric: Metric,
+    method: str = "auto",
+) -> Dict[NodeId, FirstHopResult]:
+    """``fP(u, v)`` for every one- and two-hop neighbor ``v`` of the owner.
+
+    Three implementations are provided; all agree (the property-based tests assert it on
+    random topologies), they only trade generality for speed:
+
+    * ``"per-target"`` calls :func:`first_hops_to` once per target (one solver run each) --
+      the direct transcription of the paper's definition, used as the reference in tests.
+    * ``"owner-dijkstra"`` runs a *single* solver pass rooted at the owner and propagates
+      first-hop sets along tight predecessor links.  Valid only for **additive** metrics,
+      where every prefix of an optimal path is itself optimal.
+    * ``"bottleneck-forest"`` computes, for **concave** metrics, every pairwise bottleneck
+      value through a maximum-bottleneck spanning forest of the view without the owner
+      (the classical equivalence between widest paths and maximum spanning trees), then
+      assembles the first-hop sets from ``combine(w(u, n), bottleneck(n, target))``.
+
+    ``"auto"`` (default) picks the fast implementation matching the metric's kind.  This is
+    what makes the paper's densest settings (about 1100 nodes of degree 35, each with a
+    local view of well over a hundred nodes) tractable in pure Python.
+    """
+    if method == "per-target":
+        return {target: first_hops_to(view, target, metric) for target in view.known_targets()}
+    if method == "auto":
+        method = "owner-dijkstra" if metric.kind is MetricKind.ADDITIVE else "bottleneck-forest"
+    if method == "owner-dijkstra":
+        if metric.kind is not MetricKind.ADDITIVE:
+            raise ValueError(
+                "the owner-dijkstra method is only correct for additive metrics; "
+                "use 'bottleneck-forest' or 'per-target' for concave metrics"
+            )
+        return _all_first_hops_owner_dijkstra(view, metric)
+    if method == "bottleneck-forest":
+        if metric.kind is not MetricKind.CONCAVE:
+            raise ValueError(
+                "the bottleneck-forest method is only correct for concave metrics; "
+                "use 'owner-dijkstra' or 'per-target' for additive metrics"
+            )
+        return _all_first_hops_bottleneck_forest(view, metric)
+    raise ValueError(
+        f"unknown method {method!r}; use 'auto', 'owner-dijkstra', 'bottleneck-forest' or 'per-target'"
+    )
+
+
+def _all_first_hops_owner_dijkstra(view: LocalView, metric: Metric) -> Dict[NodeId, FirstHopResult]:
+    """Single-source computation of every first-hop set (additive metrics only).
+
+    Correctness sketch: for an additive metric every prefix of an optimal path is optimal, so
+    a neighbor ``w`` belongs to ``fP(u, x)`` exactly when some optimal path reaches ``x``
+    through a chain of *tight* links (links with ``combine(d(p), weight) = d(x)``) starting
+    with the direct link ``(u, w)`` being tight.  Propagating first-hop sets across tight
+    links until a fixpoint captures precisely those paths.  (This argument fails for concave
+    metrics -- an optimal bottleneck path may have suboptimal prefixes -- which is why those
+    use :func:`_all_first_hops_bottleneck_forest` instead.)
+    """
+    owner = view.owner
+    graph = view.graph
+    distances = best_values_from(graph, owner, metric)
+
+    first_hops: Dict[NodeId, set] = {node: set() for node in distances}
+    worklist = deque()
+
+    for neighbor in view.one_hop:
+        if neighbor not in distances:
+            continue
+        link_value = view.direct_link_value(neighbor, metric)
+        direct = metric.combine(metric.identity, link_value)
+        if metric.values_equal(direct, distances[neighbor]):
+            first_hops[neighbor].add(neighbor)
+            worklist.append(neighbor)
+
+    while worklist:
+        node = worklist.popleft()
+        node_value = distances[node]
+        node_hops = first_hops[node]
+        for successor in graph.neighbors(node):
+            if successor == owner or successor not in distances:
+                continue
+            link_value = metric.link_value_from_attributes(graph.edges[node, successor])
+            if not metric.values_equal(metric.combine(node_value, link_value), distances[successor]):
+                continue
+            successor_hops = first_hops[successor]
+            if not node_hops <= successor_hops:
+                successor_hops |= node_hops
+                worklist.append(successor)
+
+    results: Dict[NodeId, FirstHopResult] = {}
+    for target in view.known_targets():
+        if target in distances and first_hops[target]:
+            results[target] = FirstHopResult(
+                target=target,
+                best_value=distances[target],
+                first_hops=frozenset(first_hops[target]),
+            )
+        else:
+            results[target] = FirstHopResult(
+                target=target, best_value=metric.worst, first_hops=frozenset()
+            )
+    return results
+
+
+def _all_first_hops_bottleneck_forest(view: LocalView, metric: Metric) -> Dict[NodeId, FirstHopResult]:
+    """Every first-hop set for a concave (bottleneck) metric, via a maximum spanning forest.
+
+    For bottleneck metrics the best value between two nodes of a graph equals the bottleneck
+    along their path in any maximum(-bottleneck) spanning forest.  So: build one spanning
+    forest of the owner-free view with Kruskal over edges sorted best-first, then for every
+    target walk the forest once to obtain ``best(n → target in G \\ {u})`` for every node
+    ``n``, and combine with the owner's direct links exactly as in :func:`first_hops_to`.
+    """
+    owner = view.owner
+    graph = view.graph
+    nodes = [node for node in graph.nodes if node != owner]
+    if not nodes:
+        return {
+            target: FirstHopResult(target=target, best_value=metric.worst, first_hops=frozenset())
+            for target in view.known_targets()
+        }
+
+    # --- Kruskal: maximum-bottleneck spanning forest of the view without the owner --------
+    parent: Dict[NodeId, NodeId] = {node: node for node in nodes}
+
+    def find(node: NodeId) -> NodeId:
+        root = node
+        while parent[root] != root:
+            root = parent[root]
+        while parent[node] != root:
+            parent[node], node = root, parent[node]
+        return root
+
+    edges = []
+    for a, b in graph.edges:
+        if a == owner or b == owner:
+            continue
+        value = metric.link_value_from_attributes(graph.edges[a, b])
+        edges.append((metric.sort_key(value), a, b, value))
+    edges.sort()
+
+    forest: Dict[NodeId, List[Tuple[NodeId, float]]] = {node: [] for node in nodes}
+    for _, a, b, value in edges:
+        root_a, root_b = find(a), find(b)
+        if root_a == root_b:
+            continue
+        parent[root_a] = root_b
+        forest[a].append((b, value))
+        forest[b].append((a, value))
+
+    one_hop_links = {
+        neighbor: view.direct_link_value(neighbor, metric) for neighbor in view.one_hop
+    }
+
+    results: Dict[NodeId, FirstHopResult] = {}
+    for target in view.known_targets():
+        # Bottleneck value from the target to every node of its forest component.
+        bottleneck: Dict[NodeId, float] = {target: metric.identity}
+        stack = [target]
+        while stack:
+            node = stack.pop()
+            node_value = bottleneck[node]
+            for neighbor, link_value in forest[node]:
+                if neighbor in bottleneck:
+                    continue
+                bottleneck[neighbor] = metric.combine(node_value, link_value)
+                stack.append(neighbor)
+
+        candidates: Dict[NodeId, float] = {}
+        for neighbor, direct in one_hop_links.items():
+            start = metric.combine(metric.identity, direct)
+            if neighbor == target:
+                candidates[neighbor] = start
+                continue
+            remainder = bottleneck.get(neighbor)
+            if remainder is None:
+                continue
+            candidates[neighbor] = metric.combine(start, remainder)
+
+        if not candidates:
+            results[target] = FirstHopResult(
+                target=target, best_value=metric.worst, first_hops=frozenset()
+            )
+            continue
+        best_value = metric.optimum(candidates.values())
+        first_hops = frozenset(
+            neighbor
+            for neighbor, value in candidates.items()
+            if metric.values_equal(value, best_value)
+        )
+        results[target] = FirstHopResult(target=target, best_value=best_value, first_hops=first_hops)
+    return results
+
+
+def enumerate_best_paths(
+    graph: nx.Graph,
+    source: NodeId,
+    target: NodeId,
+    metric: Metric,
+    max_paths: int = 1000,
+) -> List[List[NodeId]]:
+    """Enumerate every QoS-optimal *simple* path between two nodes.
+
+    Intended for tests, documentation and the paper's worked examples; complexity is
+    exponential in the worst case, hence the ``max_paths`` safety valve (a
+    :class:`RuntimeError` is raised when it is exceeded so callers never silently get a
+    truncated answer).
+    """
+    if source not in graph or target not in graph:
+        return []
+    best_value = best_value_between(graph, source, target, metric)
+    if not metric.is_usable(best_value):
+        return []
+
+    results: List[List[NodeId]] = []
+
+    def extend(path: List[NodeId], value: float) -> None:
+        node = path[-1]
+        if node == target:
+            if metric.values_equal(value, best_value):
+                results.append(list(path))
+                if len(results) > max_paths:
+                    raise RuntimeError(f"more than {max_paths} optimal paths between {source} and {target}")
+            return
+        # Prune: extending can never improve the value, so stop once we are already worse.
+        if metric.is_better(best_value, value) and not metric.values_equal(value, best_value):
+            pass  # still potentially optimal only if value == best; handled below
+        for neighbor in graph.neighbors(node):
+            if neighbor in path:
+                continue
+            link_value = metric.link_value_from_attributes(graph.edges[node, neighbor])
+            extended = metric.combine(value, link_value)
+            # A prefix can only be extended into an optimal path if it is at least as good as
+            # the optimum (path values are monotonically non-improving under extension).
+            if metric.is_better_or_equal(extended, best_value):
+                extend(path + [neighbor], extended)
+
+    extend([source], metric.identity)
+    return sorted(results)
+
+
+def path_value(graph: nx.Graph, path: Sequence[NodeId], metric: Metric) -> float:
+    """The QoS value of an explicit node path evaluated on ``graph``'s true link weights."""
+    if len(path) == 0:
+        raise ValueError("a path needs at least one node")
+    value = metric.identity
+    for u, v in zip(path, path[1:]):
+        if not graph.has_edge(u, v):
+            raise KeyError(f"path uses the non-existent link ({u}, {v})")
+        value = metric.combine(value, metric.link_value_from_attributes(graph.edges[u, v]))
+    return value

@@ -1,0 +1,154 @@
+"""A node's partial view of the network, ``G_u``.
+
+OLSR nodes only know their one- and two-hop neighborhood, learned from HELLO messages that
+piggyback each neighbor's own neighbor table.  The paper formalizes this as the graph
+``G_u = (V_u, E_u)`` with ``V_u = {u} ∪ N(u) ∪ N²(u)`` and ``E_u`` containing every link with
+at least one endpoint in ``N(u)`` (so links between two 2-hop neighbors are *not* visible --
+this is exactly why a localized algorithm cannot always find the globally optimal path, as
+the paper's Figure 2 illustrates with the invisible link ``(v8, v9)``).
+
+:class:`LocalView` is that object.  Every selection algorithm in the library (FNBP and all
+baselines) takes a :class:`LocalView` as input, which keeps them honest: they can only use
+information a real OLSR node would have.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.metrics.base import Metric
+from repro.utils.ids import NodeId
+
+
+class LocalView:
+    """The two-hop local view ``G_u`` of a node ``u``."""
+
+    def __init__(
+        self,
+        owner: NodeId,
+        one_hop: Iterable[NodeId],
+        two_hop: Iterable[NodeId],
+        graph: nx.Graph,
+    ) -> None:
+        self.owner = owner
+        self.one_hop: FrozenSet[NodeId] = frozenset(one_hop)
+        self.two_hop: FrozenSet[NodeId] = frozenset(two_hop)
+        self.graph = graph
+        self._validate()
+
+    # ------------------------------------------------------------------ construction
+
+    @classmethod
+    def from_network(cls, network, owner: NodeId) -> "LocalView":
+        """Build ``G_owner`` from a :class:`~repro.topology.network.Network`.
+
+        Only the information available to a real node is copied: the links incident to the
+        owner and to its one-hop neighbors.  Link weights are carried over verbatim.
+        """
+        if owner not in network:
+            raise KeyError(f"node {owner} is not part of the network")
+        one_hop = network.neighbors(owner)
+        two_hop = network.two_hop_neighbors(owner)
+        known_nodes = {owner} | one_hop | two_hop
+
+        graph = nx.Graph()
+        graph.add_nodes_from(known_nodes)
+        for neighbor in one_hop:
+            for other in network.neighbors(neighbor):
+                if other in known_nodes:
+                    graph.add_edge(neighbor, other, **network.link_attributes(neighbor, other))
+        return cls(owner=owner, one_hop=one_hop, two_hop=two_hop, graph=graph)
+
+    @classmethod
+    def from_tables(
+        cls,
+        owner: NodeId,
+        neighbor_links: Dict[NodeId, Dict[str, float]],
+        two_hop_links: Dict[NodeId, Dict[NodeId, Dict[str, float]]],
+    ) -> "LocalView":
+        """Build a view from protocol tables (as the simulator's OLSR nodes do).
+
+        ``neighbor_links[v]`` holds the weights of the direct link ``(owner, v)``;
+        ``two_hop_links[v][w]`` holds the weights of the link ``(v, w)`` reported by neighbor
+        ``v`` about its own neighbor ``w``.
+        """
+        graph = nx.Graph()
+        graph.add_node(owner)
+        one_hop = set(neighbor_links)
+        for neighbor, weights in neighbor_links.items():
+            graph.add_edge(owner, neighbor, **dict(weights))
+        two_hop: Set[NodeId] = set()
+        for neighbor, reported in two_hop_links.items():
+            if neighbor not in one_hop:
+                # Stale report about a node that is no longer a neighbor; ignore it.
+                continue
+            for other, weights in reported.items():
+                if other == owner:
+                    continue
+                graph.add_edge(neighbor, other, **dict(weights))
+                if other not in one_hop:
+                    two_hop.add(other)
+        return cls(owner=owner, one_hop=one_hop, two_hop=two_hop, graph=graph)
+
+    # ------------------------------------------------------------------ queries
+
+    @property
+    def nodes(self) -> Set[NodeId]:
+        """All nodes the owner knows about (``V_u``)."""
+        return set(self.graph.nodes)
+
+    def known_targets(self) -> list[NodeId]:
+        """The owner's one- and two-hop neighbors, sorted (the targets ANS selection covers)."""
+        return sorted(self.one_hop | self.two_hop)
+
+    def has_link(self, u: NodeId, v: NodeId) -> bool:
+        """True when the owner knows about a link between ``u`` and ``v``."""
+        return self.graph.has_edge(u, v)
+
+    def link_value(self, u: NodeId, v: NodeId, metric: Metric) -> float:
+        """The weight of the known link ``(u, v)`` under ``metric``."""
+        if not self.graph.has_edge(u, v):
+            raise KeyError(f"node {self.owner} does not know of a link between {u} and {v}")
+        return metric.link_value_from_attributes(self.graph.edges[u, v])
+
+    def direct_link_value(self, neighbor: NodeId, metric: Metric) -> float:
+        """The weight of the direct link from the owner to one of its neighbors."""
+        if neighbor not in self.one_hop:
+            raise KeyError(f"{neighbor} is not a one-hop neighbor of {self.owner}")
+        return self.link_value(self.owner, neighbor, metric)
+
+    def neighbors_of(self, node: NodeId) -> Set[NodeId]:
+        """The neighbors of ``node`` *as known by the owner* (a subset of the true set)."""
+        if node not in self.graph:
+            return set()
+        return set(self.graph.neighbors(node))
+
+    def common_relays(self, target: NodeId) -> Set[NodeId]:
+        """One-hop neighbors ``w`` of the owner such that the path ``owner-w-target`` exists."""
+        return {w for w in self.one_hop if self.graph.has_edge(w, target)}
+
+    def graph_without_owner(self) -> nx.Graph:
+        """The view with the owner removed (used when computing paths that must not revisit it)."""
+        return self.graph.subgraph([n for n in self.graph.nodes if n != self.owner])
+
+    # ------------------------------------------------------------------ internals
+
+    def _validate(self) -> None:
+        if self.owner in self.one_hop or self.owner in self.two_hop:
+            raise ValueError("the owner cannot be its own neighbor")
+        overlap = self.one_hop & self.two_hop
+        if overlap:
+            raise ValueError(f"nodes cannot be both one- and two-hop neighbors: {sorted(overlap)}")
+        if self.owner not in self.graph:
+            self.graph.add_node(self.owner)
+        for neighbor in self.one_hop:
+            if not self.graph.has_edge(self.owner, neighbor):
+                raise ValueError(f"missing direct link between owner {self.owner} and neighbor {neighbor}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LocalView(owner={self.owner}, one_hop={len(self.one_hop)}, "
+            f"two_hop={len(self.two_hop)}, links={self.graph.number_of_edges()})"
+        )

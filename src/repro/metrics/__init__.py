@@ -1,0 +1,85 @@
+"""QoS metrics: the additive/concave metric protocol and the concrete metrics used by the paper.
+
+Public surface
+--------------
+* :class:`Metric`, :class:`MetricKind`, :class:`AdditiveMetric`, :class:`ConcaveMetric` --
+  the protocol every algorithm in the library is written against.
+* :class:`BandwidthMetric` / :class:`DelayMetric` -- the paper's two instantiations
+  (Algorithms 1 and 2).
+* :class:`JitterMetric`, :class:`PacketLossMetric`, :class:`HopCountMetric`,
+  :class:`EnergyCostMetric`, :class:`ResidualBufferMetric` -- the other metrics the paper
+  names as compatible.
+* :class:`LexicographicMetric` -- the multi-criterion extension (the paper's future work).
+* Weight assigners (uniform random as in the evaluation, constant, distance-based, explicit).
+* :func:`preferred_neighbor` -- the ``≺_BW`` / ``≺_D`` preference operator.
+"""
+
+from repro.metrics.assignment import (
+    ConstantWeightAssigner,
+    DistanceProportionalAssigner,
+    ExplicitWeightAssigner,
+    UniformWeightAssigner,
+    WeightAssigner,
+    canonical_edge,
+)
+from repro.metrics.bandwidth import BandwidthMetric, ResidualBufferMetric
+from repro.metrics.base import AdditiveMetric, ConcaveMetric, Metric, MetricKind, path_links
+from repro.metrics.composite import LexicographicMetric
+from repro.metrics.delay import (
+    DelayMetric,
+    EnergyCostMetric,
+    HopCountMetric,
+    JitterMetric,
+    PacketLossMetric,
+)
+from repro.metrics.ordering import preference_key, preferred_neighbor, rank_neighbors
+
+#: Registry of the ready-made single-criterion metrics by name.
+METRICS = {
+    metric.name: metric
+    for metric in (
+        BandwidthMetric(),
+        DelayMetric(),
+        JitterMetric(),
+        PacketLossMetric(),
+        HopCountMetric(),
+        EnergyCostMetric(),
+        ResidualBufferMetric(),
+    )
+}
+
+
+def get_metric(name: str) -> Metric:
+    """Return the shared instance of the metric registered under ``name``."""
+    try:
+        return METRICS[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown metric {name!r}; known: {sorted(METRICS)}") from exc
+
+
+__all__ = [
+    "Metric",
+    "MetricKind",
+    "AdditiveMetric",
+    "ConcaveMetric",
+    "path_links",
+    "BandwidthMetric",
+    "ResidualBufferMetric",
+    "DelayMetric",
+    "JitterMetric",
+    "PacketLossMetric",
+    "HopCountMetric",
+    "EnergyCostMetric",
+    "LexicographicMetric",
+    "WeightAssigner",
+    "UniformWeightAssigner",
+    "ConstantWeightAssigner",
+    "DistanceProportionalAssigner",
+    "ExplicitWeightAssigner",
+    "canonical_edge",
+    "preferred_neighbor",
+    "preference_key",
+    "rank_neighbors",
+    "METRICS",
+    "get_metric",
+]

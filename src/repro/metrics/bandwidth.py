@@ -1,0 +1,27 @@
+"""Bandwidth -- the paper's concave example metric.
+
+The bandwidth of a path is the minimum bandwidth over its links (the bottleneck), and a
+larger bandwidth is better.  Algorithm 1 of the paper is FNBP instantiated with this metric;
+the evaluation's Figures 6 and 8 use it.
+"""
+
+from __future__ import annotations
+
+from repro.metrics.base import ConcaveMetric
+
+
+class BandwidthMetric(ConcaveMetric):
+    """Link bandwidth in arbitrary units (the paper uses dimensionless uniform weights)."""
+
+    name = "bandwidth"
+
+
+class ResidualBufferMetric(ConcaveMetric):
+    """Number of free buffers along a path (the paper's other concave example).
+
+    The value of a path is the smallest number of buffers available at any relay; more is
+    better.  Functionally identical to bandwidth but kept as a distinct, explicitly named
+    metric so experiments and traces remain self-describing.
+    """
+
+    name = "residual_buffers"

@@ -1,0 +1,107 @@
+"""Multi-criterion metrics -- the paper's stated future work.
+
+The conclusion of the paper announces "multi-criterion metrics, for example minimizing
+energy-consumption while providing good bandwidth".  This module implements the standard
+lexicographic composition: a primary metric decides, and ties (up to the primary metric's
+tolerance) are broken by a secondary metric, and so on.  Because the composite still exposes
+the :class:`~repro.metrics.base.Metric` protocol, FNBP and every baseline can run on it
+unchanged -- which is exactly the property the paper claims for its algorithm.
+
+Path values under a composite metric are tuples, one component per criterion, combined
+component-wise with each criterion's own rule.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.metrics.base import Metric, MetricKind
+
+
+class LexicographicMetric(Metric):
+    """Combine several metrics lexicographically (earlier criteria dominate).
+
+    Parameters
+    ----------
+    criteria:
+        The component metrics in order of decreasing priority.  At least one is required.
+    name:
+        Optional explicit name; defaults to ``"lex(<c1>,<c2>,...)"``.
+    """
+
+    kind = MetricKind.ADDITIVE  # nominal; composition is per-component
+
+    def __init__(self, criteria: Sequence[Metric], name: str | None = None):
+        if not criteria:
+            raise ValueError("a lexicographic metric needs at least one criterion")
+        self.criteria: Tuple[Metric, ...] = tuple(criteria)
+        self.name = name or "lex(" + ",".join(metric.name for metric in self.criteria) + ")"
+
+    # ------------------------------------------------------------------ composition
+
+    @property
+    def identity(self) -> tuple:  # type: ignore[override]
+        return tuple(metric.identity for metric in self.criteria)
+
+    @property
+    def worst(self) -> tuple:  # type: ignore[override]
+        return tuple(metric.worst for metric in self.criteria)
+
+    def combine(self, path_value: tuple, link_value: tuple) -> tuple:  # type: ignore[override]
+        self._check_arity(path_value)
+        self._check_arity(link_value)
+        return tuple(
+            metric.combine(p, l)
+            for metric, p, l in zip(self.criteria, path_value, link_value)
+        )
+
+    # ------------------------------------------------------------------ ordering
+
+    def is_better(self, a: tuple, b: tuple) -> bool:  # type: ignore[override]
+        self._check_arity(a)
+        self._check_arity(b)
+        for metric, component_a, component_b in zip(self.criteria, a, b):
+            if metric.is_better(component_a, component_b):
+                return True
+            if metric.is_better(component_b, component_a):
+                return False
+        return False
+
+    def values_equal(self, a: tuple, b: tuple) -> bool:  # type: ignore[override]
+        self._check_arity(a)
+        self._check_arity(b)
+        return all(
+            metric.values_equal(component_a, component_b)
+            for metric, component_a, component_b in zip(self.criteria, a, b)
+        )
+
+    def is_usable(self, value: tuple) -> bool:  # type: ignore[override]
+        # A path is usable when its dominant criterion is usable; lower-priority criteria
+        # being "worst" (e.g. zero residual energy reported optimistically) still means the
+        # destination is reachable.
+        self._check_arity(value)
+        return self.criteria[0].is_usable(value[0])
+
+    def sort_key(self, value: tuple) -> tuple:  # type: ignore[override]
+        self._check_arity(value)
+        return tuple(metric.sort_key(component) for metric, component in zip(self.criteria, value))
+
+    # ------------------------------------------------------------------ edge access
+
+    def link_value_from_attributes(self, attributes: dict) -> tuple:  # type: ignore[override]
+        return tuple(metric.link_value_from_attributes(attributes) for metric in self.criteria)
+
+    def validate_link_value(self, value: tuple) -> tuple:  # type: ignore[override]
+        self._check_arity(value)
+        return tuple(
+            metric.validate_link_value(component)
+            for metric, component in zip(self.criteria, value)
+        )
+
+    # ------------------------------------------------------------------ helpers
+
+    def _check_arity(self, value: object) -> None:
+        if not isinstance(value, tuple) or len(value) != len(self.criteria):
+            raise TypeError(
+                f"{self.name} values are tuples of arity {len(self.criteria)}, got {value!r}"
+            )

@@ -1,0 +1,34 @@
+"""Protocol timing constants.
+
+Values follow RFC 3626's defaults (seconds).  The discrete-event simulation uses them to
+schedule periodic HELLO and TC emission and to expire stale table entries; experiments that
+only need the converged state use :data:`DEFAULT_CONVERGENCE_TIME` as a safe settling period
+(a few HELLO and TC periods).
+"""
+
+HELLO_INTERVAL = 2.0
+"""Period of HELLO emission (neighborhood sensing)."""
+
+TC_INTERVAL = 5.0
+"""Period of TC emission (topology dissemination)."""
+
+REFRESH_INTERVAL = 2.0
+"""Link refresh interval used to size validity times."""
+
+NEIGHBOR_HOLD_TIME = 3 * REFRESH_INTERVAL
+"""Validity of neighbor and two-hop entries learned from HELLOs."""
+
+TOPOLOGY_HOLD_TIME = 3 * TC_INTERVAL
+"""Validity of topology entries learned from TCs."""
+
+DUPLICATE_HOLD_TIME = 30.0
+"""How long duplicate-detection records are kept."""
+
+MAX_TTL = 255
+"""Initial TTL of flooded control messages."""
+
+DEFAULT_CONVERGENCE_TIME = 30.0
+"""Simulation time after which a static network's tables have settled (several TC periods)."""
+
+MAX_JITTER = 0.5
+"""Maximum random jitter applied to periodic emissions, as recommended by RFC 3626."""

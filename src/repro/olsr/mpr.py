@@ -1,0 +1,80 @@
+"""RFC 3626 multipoint-relay (MPR) selection.
+
+The classical OLSR heuristic, metric-blind by design: it only cares about covering the whole
+two-hop neighborhood with as few one-hop neighbors as possible.
+
+1. Start with an empty MPR set; only strict two-hop neighbors reachable through a one-hop
+   neighbor need covering.
+2. Add every one-hop neighbor that is the *only* one covering some two-hop neighbor (the
+   paper's related-work section cites [3]: roughly 75 % of MPRs are selected here).
+3. While some two-hop neighbor is uncovered, greedily add the one-hop neighbor covering the
+   most still-uncovered two-hop neighbors, breaking ties by higher degree then by smaller
+   identifier.
+
+Both FNBP and the topology-filtering baseline keep this set for TC flooding and add their
+QoS-aware ANS on top of it, following Moraru & Simplot-Ryl's split between flooding and
+routing sets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set
+
+from repro.localview.view import LocalView
+from repro.utils.ids import NodeId
+
+
+def coverage_map(view: LocalView) -> Dict[NodeId, Set[NodeId]]:
+    """For each one-hop neighbor, the set of strict two-hop neighbors it covers."""
+    return {
+        neighbor: view.neighbors_of(neighbor) & view.two_hop
+        for neighbor in view.one_hop
+    }
+
+
+def rfc3626_mpr(view: LocalView) -> FrozenSet[NodeId]:
+    """Compute the RFC 3626 greedy MPR set for the owner of ``view``."""
+    cover = coverage_map(view)
+    uncovered: Set[NodeId] = set().union(*cover.values()) if cover else set()
+    mpr: Set[NodeId] = set()
+
+    # Phase 1: neighbors that are the sole cover of some two-hop neighbor.
+    for two_hop in sorted(uncovered):
+        providers = [neighbor for neighbor, covered in cover.items() if two_hop in covered]
+        if len(providers) == 1:
+            mpr.add(providers[0])
+    for neighbor in mpr:
+        uncovered -= cover[neighbor]
+
+    # Phase 2: greedy coverage of the remainder.
+    while uncovered:
+        best = max(
+            (neighbor for neighbor in view.one_hop if neighbor not in mpr),
+            key=lambda neighbor: (
+                len(cover[neighbor] & uncovered),
+                len(view.neighbors_of(neighbor)),
+                -neighbor,
+            ),
+        )
+        gained = cover[best] & uncovered
+        if not gained:
+            # Remaining two-hop neighbors are not coverable (inconsistent tables); stop
+            # rather than loop forever.
+            break
+        mpr.add(best)
+        uncovered -= gained
+
+    return frozenset(mpr)
+
+
+def mpr_selectors(mpr_sets: Dict[NodeId, FrozenSet[NodeId]]) -> Dict[NodeId, FrozenSet[NodeId]]:
+    """Invert per-node MPR sets into per-node MPR-selector sets.
+
+    ``mpr_selectors(sets)[m]`` is the set of nodes that chose ``m`` as an MPR -- the set a
+    real OLSR node advertises in its TC messages.
+    """
+    selectors: Dict[NodeId, Set[NodeId]] = {}
+    for node, selected in mpr_sets.items():
+        for relay in selected:
+            selectors.setdefault(relay, set()).add(node)
+    return {node: frozenset(chosen_by) for node, chosen_by in selectors.items()}

@@ -1,0 +1,150 @@
+"""Neighbor and two-hop neighbor tables, populated from HELLO messages.
+
+Each entry carries an expiry time so that the discrete-event simulation behaves correctly
+when nodes disappear (entries simply age out); the static graph-level experiments never
+expire anything because they query the converged state.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Mapping, Optional, Set
+
+from repro.olsr.messages import HelloMessage
+from repro.utils.ids import NodeId
+
+
+@dataclass
+class NeighborEntry:
+    """State kept about one symmetric one-hop neighbor."""
+
+    neighbor: NodeId
+    weights: Dict[str, float]
+    expires_at: float = math.inf
+    is_mpr_selector: bool = False
+    """True when the neighbor's last HELLO declared this node as one of its MPRs."""
+
+
+@dataclass
+class TwoHopEntry:
+    """State kept about one link (neighbor -> two-hop neighbor) reported in a HELLO."""
+
+    neighbor: NodeId
+    two_hop: NodeId
+    weights: Dict[str, float]
+    expires_at: float = math.inf
+
+
+class NeighborTable:
+    """The owner's knowledge of its one- and two-hop neighborhood."""
+
+    def __init__(self, owner: NodeId):
+        self.owner = owner
+        self._neighbors: Dict[NodeId, NeighborEntry] = {}
+        self._two_hop: Dict[tuple[NodeId, NodeId], TwoHopEntry] = {}
+
+    # ------------------------------------------------------------------ updates
+
+    def record_link(
+        self,
+        neighbor: NodeId,
+        weights: Mapping[str, float],
+        expires_at: float = math.inf,
+        is_mpr_selector: Optional[bool] = None,
+    ) -> None:
+        """Record (or refresh) the direct link to ``neighbor``."""
+        entry = self._neighbors.get(neighbor)
+        if entry is None:
+            entry = NeighborEntry(neighbor=neighbor, weights=dict(weights), expires_at=expires_at)
+            self._neighbors[neighbor] = entry
+        else:
+            entry.weights = dict(weights)
+            entry.expires_at = max(entry.expires_at, expires_at) if math.isfinite(entry.expires_at) else expires_at
+        if is_mpr_selector is not None:
+            entry.is_mpr_selector = is_mpr_selector
+
+    def update_from_hello(
+        self,
+        hello: HelloMessage,
+        link_weights: Mapping[str, float],
+        now: float = 0.0,
+        hold_time: float = math.inf,
+    ) -> None:
+        """Process a HELLO heard directly from a neighbor.
+
+        ``link_weights`` are the receiver's own measurement of the link to the HELLO's
+        originator (QoS measurement is out of the paper's scope; the simulation reads the
+        ground-truth weights from the topology).
+        """
+        originator = hello.originator
+        if originator == self.owner:
+            return
+        expires = now + hold_time if math.isfinite(hold_time) else math.inf
+        self.record_link(
+            originator,
+            link_weights,
+            expires_at=expires,
+            is_mpr_selector=hello.declares_mpr(self.owner),
+        )
+        # Refresh the two-hop entries reported by this originator (replacing earlier ones).
+        self._two_hop = {
+            key: entry for key, entry in self._two_hop.items() if key[0] != originator
+        }
+        for report in hello.links:
+            if report.neighbor == self.owner:
+                continue
+            self._two_hop[(originator, report.neighbor)] = TwoHopEntry(
+                neighbor=originator,
+                two_hop=report.neighbor,
+                weights=dict(report.weights),
+                expires_at=expires,
+            )
+
+    def expire(self, now: float) -> None:
+        """Drop every entry whose validity time has passed."""
+        self._neighbors = {
+            node: entry for node, entry in self._neighbors.items() if entry.expires_at > now
+        }
+        self._two_hop = {
+            key: entry
+            for key, entry in self._two_hop.items()
+            if entry.expires_at > now and key[0] in self._neighbors
+        }
+
+    # ------------------------------------------------------------------ queries
+
+    def neighbors(self) -> FrozenSet[NodeId]:
+        return frozenset(self._neighbors)
+
+    def neighbor_weights(self, neighbor: NodeId) -> Dict[str, float]:
+        return dict(self._neighbors[neighbor].weights)
+
+    def mpr_selectors(self) -> FrozenSet[NodeId]:
+        """Neighbors whose last HELLO declared this node as an MPR."""
+        return frozenset(
+            node for node, entry in self._neighbors.items() if entry.is_mpr_selector
+        )
+
+    def two_hop_neighbors(self) -> FrozenSet[NodeId]:
+        """Strict two-hop neighbors (excluding the owner and its one-hop neighbors)."""
+        one_hop = self.neighbors()
+        return frozenset(
+            entry.two_hop
+            for entry in self._two_hop.values()
+            if entry.two_hop != self.owner and entry.two_hop not in one_hop
+        )
+
+    def neighbor_link_table(self) -> Dict[NodeId, Dict[str, float]]:
+        """``{neighbor: link weights}`` -- the first argument of :meth:`LocalView.from_tables`."""
+        return {node: dict(entry.weights) for node, entry in self._neighbors.items()}
+
+    def two_hop_link_table(self) -> Dict[NodeId, Dict[NodeId, Dict[str, float]]]:
+        """``{neighbor: {reported neighbor: link weights}}`` for :meth:`LocalView.from_tables`."""
+        table: Dict[NodeId, Dict[NodeId, Dict[str, float]]] = {}
+        for (neighbor, two_hop), entry in self._two_hop.items():
+            table.setdefault(neighbor, {})[two_hop] = dict(entry.weights)
+        return table
+
+    def __len__(self) -> int:
+        return len(self._neighbors)

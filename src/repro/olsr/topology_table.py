@@ -1,0 +1,93 @@
+"""Topology table, populated from flooded TC messages.
+
+Each TC from an originator ``o`` advertises links ``(o, s)`` towards the nodes ``s`` that
+selected ``o`` (its advertised/MPR selectors), together with their QoS in the QOLSR
+extension.  The union of the freshest such announcements is the partial topology every node
+routes on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Tuple
+
+import networkx as nx
+
+from repro.olsr.messages import TcMessage
+from repro.utils.ids import NodeId
+
+
+@dataclass
+class TopologyEntry:
+    """One advertised link: originator -> selector, with its QoS weights and freshness."""
+
+    originator: NodeId
+    selector: NodeId
+    weights: Dict[str, float]
+    ansn: int
+    expires_at: float = math.inf
+
+
+class TopologyTable:
+    """A node's TC-learned view of the rest of the network."""
+
+    def __init__(self, owner: NodeId):
+        self.owner = owner
+        self._entries: Dict[Tuple[NodeId, NodeId], TopologyEntry] = {}
+        self._latest_ansn: Dict[NodeId, int] = {}
+
+    # ------------------------------------------------------------------ updates
+
+    def update_from_tc(self, tc: TcMessage, now: float = 0.0, hold_time: float = math.inf) -> bool:
+        """Process a TC message.  Returns False when it was stale and ignored."""
+        latest = self._latest_ansn.get(tc.originator)
+        if latest is not None and tc.ansn < latest:
+            return False
+        if latest is None or tc.ansn > latest:
+            # Newer announcement: forget everything previously advertised by this originator.
+            self._entries = {
+                key: entry for key, entry in self._entries.items() if key[0] != tc.originator
+            }
+            self._latest_ansn[tc.originator] = tc.ansn
+        expires = now + hold_time if math.isfinite(hold_time) else math.inf
+        for link in tc.advertised:
+            self._entries[(tc.originator, link.selector)] = TopologyEntry(
+                originator=tc.originator,
+                selector=link.selector,
+                weights=dict(link.weights),
+                ansn=tc.ansn,
+                expires_at=expires,
+            )
+        return True
+
+    def expire(self, now: float) -> None:
+        """Drop entries whose validity time has passed."""
+        self._entries = {key: entry for key, entry in self._entries.items() if entry.expires_at > now}
+
+    # ------------------------------------------------------------------ queries
+
+    def entries(self) -> Iterable[TopologyEntry]:
+        return list(self._entries.values())
+
+    def advertised_links(self) -> Dict[Tuple[NodeId, NodeId], Dict[str, float]]:
+        """Every advertised link (undirected canonical orientation) with its weights."""
+        links: Dict[Tuple[NodeId, NodeId], Dict[str, float]] = {}
+        for entry in self._entries.values():
+            key = (
+                (entry.originator, entry.selector)
+                if entry.originator <= entry.selector
+                else (entry.selector, entry.originator)
+            )
+            links[key] = dict(entry.weights)
+        return links
+
+    def as_graph(self) -> nx.Graph:
+        """The advertised topology as a weighted graph (used for routing-table computation)."""
+        graph = nx.Graph()
+        for (u, v), weights in self.advertised_links().items():
+            graph.add_edge(u, v, **weights)
+        return graph
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,22 @@
+"""The paper's worked-example topologies (Figures 1, 2, 4 and 5).
+
+The published figures give node layouts and link weights graphically and only part of that
+information survives in the text, so these modules *reconstruct* each example: a topology
+with explicit weights that satisfies every statement the paper makes about the figure (the
+path values, the first-hop sets, which nodes get selected and why).  Each module's docstring
+lists the statements it reproduces; the test-suite's ``test_paper_figures.py`` asserts them.
+"""
+
+from repro.papergraphs.figure1 import figure1_network
+from repro.papergraphs.figure2 import FIGURE2_OWNER, figure2_network
+from repro.papergraphs.figure4 import figure4_network
+from repro.papergraphs.figure5 import figure5_network, figure5_selections
+
+__all__ = [
+    "figure1_network",
+    "figure2_network",
+    "FIGURE2_OWNER",
+    "figure4_network",
+    "figure5_network",
+    "figure5_selections",
+]

@@ -1,0 +1,75 @@
+"""The paper's Figure 1: QOLSR can miss the widest path.
+
+The figure shows six nodes ``v1..v6`` with bandwidth-weighted links and makes two claims:
+
+* the path ``v1 v2 v3`` used by QOLSR to route from ``v1`` to ``v3`` has bandwidth 6;
+* the widest ``v1 → v3`` path is ``v1 v6 v5 v4 v3`` with bandwidth 10, and QOLSR never uses
+  it because its heuristics only ever consider alternatives of at most two hops.
+
+The published figure does not label every link legibly, so this module reconstructs a
+topology with exactly those two properties: a two-hop "shortcut" of bottleneck 6 through
+``v2`` and a four-hop chain of bandwidth 10 through ``v6, v5, v4``.  The accompanying tests
+check the claims directly (best two-hop-constrained bandwidth = 6, unconstrained widest path
+= 10 along the stated node sequence) and that FNBP's advertised topology preserves the wide
+path while a two-hop-constrained selection cannot.
+"""
+
+from __future__ import annotations
+
+from repro.topology.network import Network
+
+#: Node identifiers; ``v1`` is 1, ..., ``v6`` is 6.
+V1, V2, V3, V4, V5, V6 = 1, 2, 3, 4, 5, 6
+
+#: Bandwidth of every link of the reconstructed Figure 1 topology.
+FIGURE1_BANDWIDTH = {
+    (V1, V2): 7.0,
+    (V2, V3): 6.0,
+    (V1, V6): 10.0,
+    (V6, V5): 10.0,
+    (V5, V4): 10.0,
+    (V4, V3): 10.0,
+    (V2, V6): 1.0,
+    (V2, V4): 3.0,
+}
+
+
+def figure1_network() -> Network:
+    """The reconstructed Figure 1 network (bandwidth weights only)."""
+    network = Network()
+    positions = {
+        V1: (0.0, 50.0),
+        V2: (50.0, 50.0),
+        V3: (100.0, 50.0),
+        V4: (100.0, 0.0),
+        V5: (50.0, 0.0),
+        V6: (0.0, 0.0),
+    }
+    for node, position in positions.items():
+        network.add_node(node, position)
+    for (u, v), bandwidth in FIGURE1_BANDWIDTH.items():
+        network.add_link(u, v, bandwidth=bandwidth)
+    return network
+
+
+def best_two_hop_bandwidth(network: Network, source: int, destination: int) -> float:
+    """Best bandwidth achievable from ``source`` to ``destination`` in at most two hops.
+
+    This is the constraint QOLSR's MPR-based selection effectively imposes (the paper's
+    critique of [1]): only the direct link and the two-hop detours are ever candidates.
+    """
+    from repro.metrics import BandwidthMetric
+
+    metric = BandwidthMetric()
+    best = metric.worst
+    if network.has_link(source, destination):
+        best = metric.better_of(best, network.link_value(source, destination, metric))
+    for relay in network.neighbors(source):
+        if relay == destination or not network.has_link(relay, destination):
+            continue
+        value = min(
+            network.link_value(source, relay, metric),
+            network.link_value(relay, destination, metric),
+        )
+        best = metric.better_of(best, value)
+    return best

@@ -1,0 +1,76 @@
+"""The paper's Figure 2: the running example of FNBP's selection around node ``u``.
+
+The text makes the following statements about this topology (bandwidth metric), all of which
+the reconstruction below satisfies and the tests assert:
+
+* ``PBW(u, v3) = {u v2 v3, u v1 v3}`` with value ``B̃W(u, v3) = 4`` and therefore
+  ``fP_BW(u, v3) = {v1, v2}``;
+* ``BW(u, v1) = BW(u, v2)`` and ``v1`` is preferred over ``v2`` because of its smaller id;
+* ``BW(u, v5) < BW(u, v1)``;
+* to reach its one-hop neighbor ``v4`` (direct bandwidth 3), ``u`` should use the three-hop
+  path ``u v1 v5 v4`` of bandwidth 5;
+* ``u`` selects no extra ANS for ``v7`` because the direct link is already the best path;
+* once ``v1`` is in the ANS, reaching ``v5`` and ``v10`` needs no further selection;
+* ``u`` does not know the link ``(v8, v9)`` (both endpoints are two-hop neighbors), so the
+  best path it can find to ``v9`` has bandwidth 3 (via ``v7``) although a bandwidth-5 path
+  ``u v6 v8 v9`` exists globally;
+* for ``v11`` the advertised relay ends up being ``v6`` rather than ``v2`` because the link
+  ``(u, v6)`` has the better bandwidth;
+* the resulting ANS is small: ``{v1, v6, v7}``.
+
+The owner ``u`` is given the identifier 12 (larger than its neighbors'), matching the figure
+in which ``u`` is an unnumbered extra node; this keeps the loop guard (which fires only when
+the owner has the *smallest* id) out of the way, as in the paper's narrative.
+"""
+
+from __future__ import annotations
+
+from repro.topology.network import Network
+
+V = {index: index for index in range(1, 12)}
+#: The owner node of the example (the paper's ``u``).
+FIGURE2_OWNER = 12
+
+#: Bandwidth of every link of the reconstructed Figure 2 topology.
+FIGURE2_BANDWIDTH = {
+    (FIGURE2_OWNER, 1): 5.0,
+    (FIGURE2_OWNER, 2): 5.0,
+    (FIGURE2_OWNER, 4): 3.0,
+    (FIGURE2_OWNER, 5): 1.0,
+    (FIGURE2_OWNER, 6): 6.0,
+    (FIGURE2_OWNER, 7): 3.0,
+    (1, 3): 4.0,
+    (2, 3): 4.0,
+    (1, 5): 5.0,
+    (5, 4): 5.0,
+    (5, 10): 5.0,
+    (6, 8): 5.0,
+    (8, 9): 5.0,   # invisible from u: both endpoints are two-hop neighbors
+    (7, 9): 3.0,
+    (2, 11): 2.0,
+    (6, 11): 2.0,
+}
+
+
+def figure2_network() -> Network:
+    """The reconstructed Figure 2 network (bandwidth weights only)."""
+    network = Network()
+    positions = {
+        FIGURE2_OWNER: (50.0, 50.0),
+        1: (20.0, 70.0),
+        2: (20.0, 30.0),
+        3: (0.0, 50.0),
+        4: (80.0, 90.0),
+        5: (50.0, 90.0),
+        6: (80.0, 30.0),
+        7: (80.0, 60.0),
+        8: (110.0, 30.0),
+        9: (110.0, 60.0),
+        10: (20.0, 110.0),
+        11: (60.0, 0.0),
+    }
+    for node, position in positions.items():
+        network.add_node(node, position)
+    for (u, v), bandwidth in FIGURE2_BANDWIDTH.items():
+        network.add_link(u, v, bandwidth=bandwidth)
+    return network

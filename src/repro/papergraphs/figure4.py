@@ -1,0 +1,51 @@
+"""The paper's Figure 4: the "limiting last link" loop and the identifier-based guard.
+
+The scenario: the only access to node ``E`` is the weak link ``(D, E)``.  Looking only at
+first-nodes-of-best-paths, node ``B`` relies on ``A`` to reach ``E`` (``A`` is on a best path
+and is selected anyway, to cover ``D``), while node ``A`` relies on ``B`` for the same reason
+-- each defers to the other, nobody advertises ``D``, and packets for ``E`` bounce between
+``A`` and ``B``.  The fix: when a node's identifier is smaller than that of every node in
+``fP(u, v)``, it must itself select a relay adjacent to ``v`` -- here ``A`` (the smallest id)
+has to select ``D``.
+
+The reconstruction below produces exactly that behaviour with this library's FNBP
+implementation:
+
+* with the loop guard disabled, ``covering_relays`` gives ``A → B`` and ``B → A`` for
+  destination ``E`` (the mutual deferral of the paper), and ``D`` is selected by neither;
+* with the default guard, ``A`` additionally selects ``D``, and the relay chain
+  ``A → D → E`` terminates.
+"""
+
+from __future__ import annotations
+
+from repro.topology.network import Network
+
+#: Node identifiers (alphabetical order = identifier order, as in the paper's argument).
+A, B, C, D, E = 1, 2, 3, 4, 5
+
+#: Bandwidth of every link of the reconstructed Figure 4 topology.
+FIGURE4_BANDWIDTH = {
+    (A, B): 4.0,
+    (A, D): 3.0,
+    (B, D): 1.0,
+    (B, C): 2.0,
+    (D, E): 1.0,   # the limiting last link
+}
+
+
+def figure4_network() -> Network:
+    """The reconstructed Figure 4 network (bandwidth weights only)."""
+    network = Network()
+    positions = {
+        A: (0.0, 50.0),
+        B: (50.0, 50.0),
+        C: (100.0, 50.0),
+        D: (25.0, 0.0),
+        E: (25.0, -50.0),
+    }
+    for node, position in positions.items():
+        network.add_node(node, position)
+    for (u, v), bandwidth in FIGURE4_BANDWIDTH.items():
+        network.add_link(u, v, bandwidth=bandwidth)
+    return network

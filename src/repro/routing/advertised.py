@@ -1,0 +1,97 @@
+"""From per-node advertised sets to the network-wide advertised topology.
+
+In OLSR, every node periodically floods a TC message listing the nodes that selected it (its
+advertised/MPR selectors); the union of those announcements is the partial topology every
+node ends up knowing and computing routes on.  Announcing "s selected me" for every selector
+s is equivalent, link-wise, to announcing the links ``(u, w)`` for every ``w ∈ ANS(u)``, which
+is the form used here: :func:`build_advertised_topology` turns the per-node selection results
+into a single undirected graph whose edges carry the true link weights (nodes measure their
+own link QoS and include it in the announcements, as QOLSR does).
+
+Routing then happens *on this graph* plus, at each forwarding node, that node's own one-hop
+links (known from HELLOs even when nobody advertised them) -- see
+:mod:`repro.routing.hop_by_hop`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Mapping
+
+import networkx as nx
+
+from repro.core.selection import AnsSelector, SelectionResult
+from repro.localview.view import LocalView
+from repro.metrics.base import Metric
+from repro.topology.network import Network
+from repro.utils.ids import NodeId
+
+
+@dataclass
+class AdvertisedTopology:
+    """The network-wide link-state database induced by an ANS selection.
+
+    Attributes
+    ----------
+    graph:
+        Undirected graph whose edges are exactly the advertised links, carrying the same
+        per-metric attributes as the underlying network.
+    ans_sets:
+        The per-node advertised sets the graph was built from.
+    """
+
+    graph: nx.Graph
+    ans_sets: Dict[NodeId, FrozenSet[NodeId]] = field(default_factory=dict)
+
+    def advertised_link_count(self) -> int:
+        """Number of distinct links present in the advertised topology."""
+        return self.graph.number_of_edges()
+
+    def average_set_size(self) -> float:
+        """Mean advertised-set size per node (the quantity of the paper's Figures 6 and 7)."""
+        if not self.ans_sets:
+            return 0.0
+        return sum(len(selected) for selected in self.ans_sets.values()) / len(self.ans_sets)
+
+
+def run_selection(network: Network, selector: AnsSelector, metric: Metric) -> Dict[NodeId, SelectionResult]:
+    """Run ``selector`` at every node of ``network`` (each node sees only its local view)."""
+    results: Dict[NodeId, SelectionResult] = {}
+    for node in network.nodes():
+        view = LocalView.from_network(network, node)
+        results[node] = selector.select(view, metric)
+    return results
+
+
+def build_advertised_topology(
+    network: Network,
+    selections: Mapping[NodeId, SelectionResult] | Mapping[NodeId, FrozenSet[NodeId]],
+) -> AdvertisedTopology:
+    """Assemble the advertised topology from per-node selections.
+
+    ``selections`` maps each node either to a :class:`SelectionResult` or directly to the set
+    of selected neighbors.  Links are added undirected: a link appears as soon as *either*
+    endpoint advertises the other.
+    """
+    graph = nx.Graph()
+    graph.add_nodes_from(network.nodes())
+    ans_sets: Dict[NodeId, FrozenSet[NodeId]] = {}
+    for node, selection in selections.items():
+        selected = selection.selected if isinstance(selection, SelectionResult) else frozenset(selection)
+        ans_sets[node] = frozenset(selected)
+        for relay in selected:
+            if not network.has_link(node, relay):
+                raise ValueError(
+                    f"node {node} advertised {relay} but no such link exists in the network"
+                )
+            graph.add_edge(node, relay, **network.link_attributes(node, relay))
+    return AdvertisedTopology(graph=graph, ans_sets=ans_sets)
+
+
+def advertise(
+    network: Network,
+    selector: AnsSelector,
+    metric: Metric,
+) -> AdvertisedTopology:
+    """Convenience: run the selection everywhere and build the advertised topology."""
+    return build_advertised_topology(network, run_selection(network, selector, metric))

@@ -1,0 +1,226 @@
+"""Hop-by-hop forwarding over the advertised topology.
+
+OLSR routing is hop-by-hop: each node keeps a routing table that maps every destination to a
+next hop, computed from the node's own knowledge -- the advertised (TC-learned) topology plus
+the node's own one-hop links.  The packet's actual trajectory is therefore the concatenation
+of locally optimal decisions, which may differ from any single node's idea of the full path;
+when the advertised sets are chosen badly this is exactly how the paper's Figure 4 loop and
+unreachable destinations arise, so the router below detects loops and dead ends and reports
+them rather than hiding them.
+
+The QoS value "consumed" by a delivered packet (the paper's ``b`` and ``d``) is the value of
+the traversed path computed on the *true* link weights of the network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.localview.paths import best_values_from
+from repro.metrics.base import Metric
+from repro.metrics.ordering import preferred_neighbor
+from repro.routing.advertised import AdvertisedTopology
+from repro.topology.network import Network
+from repro.utils.ids import NodeId
+
+
+@dataclass(frozen=True)
+class RouteOutcome:
+    """The result of forwarding one packet hop by hop.
+
+    ``value`` is the QoS value of the traversed path on the true link weights (only
+    meaningful when ``delivered``); ``failure`` holds ``"loop"``, ``"no-route"`` or
+    ``"ttl-exceeded"`` otherwise.
+    """
+
+    source: NodeId
+    destination: NodeId
+    path: Tuple[NodeId, ...]
+    delivered: bool
+    value: float
+    failure: Optional[str] = None
+
+    @property
+    def hop_count(self) -> int:
+        return max(0, len(self.path) - 1)
+
+
+class HopByHopRouter:
+    """Forwards packets using per-node next-hop decisions over an advertised topology."""
+
+    def __init__(self, network: Network, advertised: AdvertisedTopology, metric: Metric):
+        self.network = network
+        self.advertised = advertised
+        self.metric = metric
+
+    # ------------------------------------------------------------------ next-hop decision
+
+    def next_hop(self, current: NodeId, destination: NodeId) -> Optional[NodeId]:
+        """The neighbor ``current`` forwards to for ``destination`` (None when it has no route).
+
+        The decision uses ``current``'s knowledge: the advertised topology (minus ``current``
+        itself, since the remainder of the path will not revisit it) plus ``current``'s own
+        one-hop links.  Among the first hops achieving the optimal QoS value, the shorter
+        path (in hops over the advertised topology) is preferred, then the better direct
+        link, then the smaller identifier.  The hop tie-break matters in practice: bottleneck
+        metrics produce many equally wide next hops, and preferring hop progress is what
+        keeps independent per-node decisions from bouncing a packet back and forth (QOLSR's
+        own route computation also keeps hop-shortest among the QoS-optimal routes).
+        """
+        metric = self.metric
+        if destination == current:
+            return None
+        own_neighbors = self.network.neighbors(current)
+        if destination in own_neighbors and not self.advertised.graph.has_node(destination):
+            return destination
+
+        # Best value and hop distance from the destination to every node over the advertised
+        # links, never passing through ``current`` (the rest of the path cannot revisit it).
+        if self.advertised.graph.has_node(destination):
+            from_destination = best_values_from(
+                self.advertised.graph, destination, metric, excluded=(current,)
+            )
+            hops_from_destination = self._hop_distances(destination, excluded=current)
+        else:
+            from_destination = {}
+            hops_from_destination = {}
+
+        candidates: Dict[NodeId, Tuple[float, float]] = {}
+        for neighbor in own_neighbors:
+            link_value = self.network.link_value(current, neighbor, metric)
+            start = metric.combine(metric.identity, link_value)
+            if neighbor == destination:
+                candidates[neighbor] = (start, 1.0)
+                continue
+            remainder = from_destination.get(neighbor)
+            if remainder is None:
+                continue
+            hop_estimate = 1.0 + hops_from_destination.get(neighbor, float("inf"))
+            candidates[neighbor] = (metric.combine(start, remainder), hop_estimate)
+
+        if not candidates:
+            return None
+        best_value = metric.optimum(value for value, _ in candidates.values())
+        if not metric.is_usable(best_value):
+            return None
+        best_candidates = {
+            neighbor: hops
+            for neighbor, (value, hops) in candidates.items()
+            if metric.values_equal(value, best_value)
+        }
+        fewest_hops = min(best_candidates.values())
+        shortlist = [
+            neighbor for neighbor, hops in best_candidates.items() if hops == fewest_hops
+        ]
+        return preferred_neighbor(
+            shortlist,
+            metric,
+            lambda neighbor: self.network.link_value(current, neighbor, metric),
+        )
+
+    def _hop_distances(self, destination: NodeId, excluded: NodeId) -> Dict[NodeId, float]:
+        """BFS hop distances from ``destination`` over the advertised topology minus a node."""
+        graph = self.advertised.graph
+        distances: Dict[NodeId, float] = {destination: 0.0}
+        frontier = [destination]
+        while frontier:
+            next_frontier = []
+            for node in frontier:
+                for neighbor in graph.neighbors(node):
+                    if neighbor == excluded or neighbor in distances:
+                        continue
+                    distances[neighbor] = distances[node] + 1.0
+                    next_frontier.append(neighbor)
+            frontier = next_frontier
+        return distances
+
+    # ------------------------------------------------------------------ link-state routing
+
+    def link_state_route(self, source: NodeId, destination: NodeId) -> RouteOutcome:
+        """The QoS-optimal route over the source's link-state database.
+
+        In OLSR every node computes its routing table on the same TC-learned topology (plus
+        its own links), so the path a packet follows is the one that database yields.  This
+        method models exactly that: one QoS-weighted shortest/widest-path computation over
+        the advertised topology augmented with the source's own links.  It is what the
+        overhead experiments (the paper's Figures 8 and 9) use, and unlike per-hop
+        recomputation it cannot loop: bottleneck metrics tie so often that independently
+        recomputed per-hop decisions (see :meth:`route`) may bounce a packet between equally
+        wide detours, something a real implementation avoids precisely because all nodes
+        share the same link-state database.
+        """
+        from repro.routing.optimal import best_path
+
+        if source not in self.network or destination not in self.network:
+            raise KeyError("source and destination must belong to the network")
+        if source == destination:
+            return RouteOutcome(source, destination, (source,), True, self.metric.identity)
+
+        knowledge = self.advertised.graph.copy()
+        knowledge.add_node(source)
+        for neighbor in self.network.neighbors(source):
+            knowledge.add_edge(source, neighbor, **self.network.link_attributes(source, neighbor))
+
+        route = best_path(knowledge, source, destination, self.metric)
+        if not route.reachable or not self.metric.is_usable(route.value):
+            return RouteOutcome(
+                source, destination, (source,), False, self.metric.worst, "no-route"
+            )
+        return RouteOutcome(
+            source,
+            destination,
+            route.path,
+            True,
+            self._path_value(list(route.path)),
+        )
+
+    # ------------------------------------------------------------------ packet forwarding
+
+    def route(self, source: NodeId, destination: NodeId, max_hops: Optional[int] = None) -> RouteOutcome:
+        """Forward a packet from ``source`` to ``destination`` and report the outcome."""
+        if source not in self.network or destination not in self.network:
+            raise KeyError("source and destination must belong to the network")
+        if max_hops is None:
+            max_hops = max(2 * len(self.network), 16)
+        if source == destination:
+            return RouteOutcome(source, destination, (source,), True, self.metric.identity)
+
+        path: List[NodeId] = [source]
+        visited = {source}
+        current = source
+        while len(path) - 1 < max_hops:
+            hop = self.next_hop(current, destination)
+            if hop is None:
+                return RouteOutcome(source, destination, tuple(path), False, self.metric.worst, "no-route")
+            path.append(hop)
+            if hop == destination:
+                return RouteOutcome(
+                    source, destination, tuple(path), True, self._path_value(path)
+                )
+            if hop in visited:
+                return RouteOutcome(source, destination, tuple(path), False, self.metric.worst, "loop")
+            visited.add(hop)
+            current = hop
+        return RouteOutcome(source, destination, tuple(path), False, self.metric.worst, "ttl-exceeded")
+
+    def routing_table(self, node: NodeId) -> Dict[NodeId, NodeId]:
+        """The full next-hop table of ``node`` for every other node of the network."""
+        table: Dict[NodeId, NodeId] = {}
+        for destination in self.network.nodes():
+            if destination == node:
+                continue
+            hop = self.next_hop(node, destination)
+            if hop is not None:
+                table[destination] = hop
+        return table
+
+    # ------------------------------------------------------------------ helpers
+
+    def _path_value(self, path: List[NodeId]) -> float:
+        value = self.metric.identity
+        for u, v in zip(path, path[1:]):
+            value = self.metric.combine(value, self.network.link_value(u, v, self.metric))
+        return value

@@ -1,0 +1,17 @@
+"""Discrete-event simulation of the full protocol stack over an ideal MAC layer."""
+
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.radio import IdealRadio, RadioStatistics
+from repro.sim.scenario import DeliveryReport, OlsrSimulation
+from repro.sim.trace import EventTrace, TraceEvent
+
+__all__ = [
+    "Simulator",
+    "EventHandle",
+    "IdealRadio",
+    "RadioStatistics",
+    "OlsrSimulation",
+    "DeliveryReport",
+    "EventTrace",
+    "TraceEvent",
+]

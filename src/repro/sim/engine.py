@@ -1,0 +1,112 @@
+"""A minimal discrete-event simulation engine.
+
+The paper's evaluation uses the authors' own C simulator with an ideal MAC layer; this engine
+is its Python counterpart: a time-ordered event queue and nothing else.  Events are plain
+callables scheduled at absolute times; ties are broken by insertion order so runs are fully
+deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    order: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventCancelled(Exception):
+    """Raised when a cancelled event handle is used to reschedule."""
+
+
+class EventHandle:
+    """Handle returned by :meth:`Simulator.schedule`, usable to cancel the event."""
+
+    def __init__(self, event: _ScheduledEvent):
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+
+class Simulator:
+    """Time-ordered execution of scheduled callbacks."""
+
+    def __init__(self) -> None:
+        self._queue: List[_ScheduledEvent] = []
+        self._order = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    # ------------------------------------------------------------------ scheduling
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at absolute time ``time`` (not before the current time)."""
+        if math.isnan(time) or time < self._now:
+            raise ValueError(f"cannot schedule in the past (now={self._now}, requested={time})")
+        event = _ScheduledEvent(time=time, order=next(self._order), callback=callback)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule_in(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` after ``delay`` time units."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.schedule_at(self._now + delay, callback)
+
+    # ------------------------------------------------------------------ execution
+
+    def run_until(self, end_time: float) -> None:
+        """Execute every event scheduled strictly up to and including ``end_time``."""
+        while self._queue and self._queue[0].time <= end_time:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            self._processed += 1
+        self._now = max(self._now, end_time)
+
+    def run_all(self, max_events: int = 1_000_000) -> None:
+        """Execute events until the queue drains (bounded by ``max_events`` as a safety net)."""
+        executed = 0
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            self._processed += 1
+            executed += 1
+            if executed >= max_events:
+                raise RuntimeError(f"simulation exceeded {max_events} events without draining")
+
+    def pending_events(self) -> int:
+        """Number of not-yet-executed (and not cancelled) events."""
+        return sum(1 for event in self._queue if not event.cancelled)

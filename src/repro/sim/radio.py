@@ -1,0 +1,75 @@
+"""The ideal wireless channel.
+
+The paper deliberately evaluates above an *ideal MAC layer*: no interference, no collisions,
+no losses.  :class:`IdealRadio` implements exactly that: a broadcast reaches every node
+within communication range after a fixed (small) propagation delay, a unicast reaches its
+addressee if it is in range, and nothing is ever dropped.  Delivery callbacks are scheduled
+on the shared :class:`~repro.sim.engine.Simulator` so transmissions interleave realistically
+with the periodic protocol timers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.olsr.messages import Packet
+from repro.sim.engine import Simulator
+from repro.topology.network import Network
+from repro.utils.ids import NodeId
+
+DeliveryCallback = Callable[[NodeId, Packet], None]
+
+
+@dataclass
+class RadioStatistics:
+    """Channel-level counters (useful for control-overhead measurements)."""
+
+    broadcasts: int = 0
+    unicasts: int = 0
+    deliveries: int = 0
+    undeliverable_unicasts: int = 0
+
+
+class IdealRadio:
+    """Collision-free broadcast medium over a static unit-disk topology."""
+
+    def __init__(
+        self,
+        network: Network,
+        simulator: Simulator,
+        deliver: DeliveryCallback,
+        propagation_delay: float = 0.001,
+    ) -> None:
+        if propagation_delay < 0:
+            raise ValueError(f"propagation delay must be non-negative, got {propagation_delay}")
+        self.network = network
+        self.simulator = simulator
+        self.deliver = deliver
+        self.propagation_delay = propagation_delay
+        self.statistics = RadioStatistics()
+
+    # ------------------------------------------------------------------ transmissions
+
+    def broadcast(self, sender: NodeId, packet: Packet) -> None:
+        """Deliver ``packet`` to every neighbor of ``sender`` after the propagation delay."""
+        self.statistics.broadcasts += 1
+        for neighbor in sorted(self.network.neighbors(sender)):
+            self._schedule_delivery(neighbor, packet)
+
+    def unicast(self, sender: NodeId, receiver: NodeId, packet: Packet) -> None:
+        """Deliver ``packet`` to ``receiver`` if it is within range of ``sender``."""
+        self.statistics.unicasts += 1
+        if not self.network.has_link(sender, receiver):
+            self.statistics.undeliverable_unicasts += 1
+            return
+        self._schedule_delivery(receiver, packet)
+
+    # ------------------------------------------------------------------ internals
+
+    def _schedule_delivery(self, receiver: NodeId, packet: Packet) -> None:
+        def deliver() -> None:
+            self.statistics.deliveries += 1
+            self.deliver(receiver, packet)
+
+        self.simulator.schedule_in(self.propagation_delay, deliver)

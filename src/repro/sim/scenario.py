@@ -1,0 +1,235 @@
+"""End-to-end protocol simulation: OLSR/QOLSR/FNBP nodes over the ideal radio.
+
+:class:`OlsrSimulation` wires one :class:`~repro.olsr.node.OlsrNode` per network node to a
+shared :class:`~repro.sim.engine.Simulator` and :class:`~repro.sim.radio.IdealRadio`,
+schedules the periodic protocol behaviour (HELLO emission, selection refresh, TC emission,
+routing-table recomputation) with small deterministic jitter, and exposes the converged
+protocol state plus data-packet delivery, so the whole stack -- neighbor sensing, MPR/ANS
+selection, TC flooding, hop-by-hop forwarding -- is exercised end to end.
+
+The graph-level experiment harness (:mod:`repro.experiments`) computes the same converged
+quantities directly and is what the figure benchmarks use for speed; the integration tests
+assert that the simulation converges to those same sets on common topologies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.core.fnbp import FnbpSelector
+from repro.core.selection import AnsSelector
+from repro.metrics.base import Metric
+from repro.olsr import constants
+from repro.olsr.messages import DataPacket, Packet, TcMessage
+from repro.olsr.node import OlsrNode
+from repro.sim.engine import Simulator
+from repro.sim.radio import IdealRadio
+from repro.sim.trace import EventTrace
+from repro.topology.network import Network
+from repro.utils.ids import NodeId
+from repro.utils.seeding import spawn_rng
+
+
+@dataclass(frozen=True)
+class DeliveryReport:
+    """Outcome of injecting one data packet into the simulated network."""
+
+    source: NodeId
+    destination: NodeId
+    delivered: bool
+    path: Tuple[NodeId, ...]
+    value: float
+    hop_count: int
+
+
+class OlsrSimulation:
+    """A complete simulated OLSR network running one selection algorithm."""
+
+    def __init__(
+        self,
+        network: Network,
+        metric: Metric,
+        selector_factory: Callable[[], AnsSelector] = FnbpSelector,
+        seed: int = 0,
+        hello_interval: float = constants.HELLO_INTERVAL,
+        tc_interval: float = constants.TC_INTERVAL,
+        propagation_delay: float = 0.001,
+    ) -> None:
+        self.network = network
+        self.metric = metric
+        self.simulator = Simulator()
+        self.trace = EventTrace()
+        self.hello_interval = hello_interval
+        self.tc_interval = tc_interval
+        self._seed = seed
+
+        self.nodes: Dict[NodeId, OlsrNode] = {}
+        for node_id in network.nodes():
+            link_weights = {
+                neighbor: network.link_attributes(node_id, neighbor)
+                for neighbor in network.neighbors(node_id)
+            }
+            self.nodes[node_id] = OlsrNode(
+                node_id=node_id,
+                metric=metric,
+                selector=selector_factory(),
+                link_weights=link_weights,
+            )
+
+        self.radio = IdealRadio(
+            network=network,
+            simulator=self.simulator,
+            deliver=self._on_receive,
+            propagation_delay=propagation_delay,
+        )
+        self._schedule_periodic_behaviour()
+
+    # ------------------------------------------------------------------ periodic behaviour
+
+    def _schedule_periodic_behaviour(self) -> None:
+        for node_id in self.network.nodes():
+            rng = spawn_rng(self._seed, "sim-jitter", node_id)
+            hello_offset = rng.uniform(0.0, constants.MAX_JITTER)
+            tc_offset = self.hello_interval + rng.uniform(0.0, constants.MAX_JITTER)
+            self._schedule_hello(node_id, hello_offset)
+            self._schedule_tc(node_id, tc_offset)
+
+    def _schedule_hello(self, node_id: NodeId, delay: float) -> None:
+        def emit() -> None:
+            node = self.nodes[node_id]
+            node.tick(self.simulator.now)
+            hello = node.make_hello()
+            self.trace.record(self.simulator.now, "hello-sent", node_id)
+            self.radio.broadcast(node_id, Packet(message=hello, sender=node_id))
+            self._schedule_hello(node_id, self.hello_interval)
+
+        self.simulator.schedule_in(delay, emit)
+
+    def _schedule_tc(self, node_id: NodeId, delay: float) -> None:
+        def emit() -> None:
+            node = self.nodes[node_id]
+            node.refresh_selection()
+            node.recompute_routes()
+            tc = node.make_tc()
+            if tc is not None:
+                self.trace.record(self.simulator.now, "tc-sent", node_id)
+                self.radio.broadcast(node_id, Packet(message=tc, sender=node_id))
+            self._schedule_tc(node_id, self.tc_interval)
+
+        self.simulator.schedule_in(delay, emit)
+
+    # ------------------------------------------------------------------ reception
+
+    def _on_receive(self, receiver: NodeId, packet: Packet) -> None:
+        node = self.nodes[receiver]
+        if isinstance(packet.message, DataPacket):
+            self.trace.record(
+                self.simulator.now,
+                "data-received",
+                receiver,
+                packet_id=packet.message.identifier,
+            )
+        responses = node.handle_packet(packet, now=self.simulator.now)
+        for response in responses:
+            self._transmit(receiver, response)
+
+    def _transmit(self, sender: NodeId, packet: Packet) -> None:
+        message = packet.message
+        if isinstance(message, TcMessage):
+            self.trace.record(self.simulator.now, "tc-forwarded", sender)
+            self.radio.broadcast(sender, packet)
+        elif isinstance(message, DataPacket):
+            next_hop = self.nodes[sender].routing_table.next_hop(message.destination)
+            if next_hop is None:
+                self.trace.record(
+                    self.simulator.now, "data-dropped", sender, packet_id=message.identifier
+                )
+                return
+            self.trace.record(
+                self.simulator.now,
+                "data-forwarded",
+                sender,
+                packet_id=message.identifier,
+                next_hop=next_hop,
+            )
+            self.radio.unicast(sender, next_hop, packet)
+        else:
+            self.radio.broadcast(sender, packet)
+
+    # ------------------------------------------------------------------ running
+
+    def run_until(self, end_time: float) -> None:
+        """Advance the simulation to ``end_time``."""
+        self.simulator.run_until(end_time)
+
+    def run_until_converged(self, settle_time: float = constants.DEFAULT_CONVERGENCE_TIME) -> None:
+        """Run long enough for tables to settle in a static network, then refresh routes."""
+        self.run_until(settle_time)
+        for node in self.nodes.values():
+            node.refresh_selection()
+            node.recompute_routes()
+
+    # ------------------------------------------------------------------ converged state
+
+    def ans_sets(self) -> Dict[NodeId, FrozenSet[NodeId]]:
+        """Every node's current advertised set."""
+        return {node_id: node.ans_set for node_id, node in self.nodes.items()}
+
+    def mpr_sets(self) -> Dict[NodeId, FrozenSet[NodeId]]:
+        """Every node's current RFC 3626 MPR set."""
+        return {node_id: node.mpr_set for node_id, node in self.nodes.items()}
+
+    def average_ans_size(self) -> float:
+        sets = self.ans_sets()
+        if not sets:
+            return 0.0
+        return sum(len(selected) for selected in sets.values()) / len(sets)
+
+    def control_message_counts(self) -> Dict[str, int]:
+        """Aggregate control-traffic counters across all nodes."""
+        totals = {"hellos_sent": 0, "tcs_sent": 0, "tcs_forwarded": 0}
+        for node in self.nodes.values():
+            totals["hellos_sent"] += node.statistics.hellos_sent
+            totals["tcs_sent"] += node.statistics.tcs_sent
+            totals["tcs_forwarded"] += node.statistics.tcs_forwarded
+        return totals
+
+    # ------------------------------------------------------------------ data traffic
+
+    def send_data(
+        self,
+        source: NodeId,
+        destination: NodeId,
+        settle_delay: float = 1.0,
+    ) -> DeliveryReport:
+        """Inject one data packet and report whether / how it was delivered."""
+        if source not in self.nodes or destination not in self.nodes:
+            raise KeyError("source and destination must be simulated nodes")
+        origin = self.nodes[source]
+        packet = origin.originate_data(destination)
+        if packet is None:
+            return DeliveryReport(source, destination, False, (source,), self.metric.worst, 0)
+        self.trace.record(
+            self.simulator.now, "data-originated", source, packet_id=packet.message.identifier
+        )
+        self._transmit(source, packet)
+        self.run_until(self.simulator.now + settle_delay)
+
+        path = self.trace.data_packet_path(packet.message.identifier)
+        delivered = bool(path) and path[-1] == destination
+        value = self.metric.worst
+        if delivered and len(path) >= 2:
+            value = self.metric.path_value(
+                self.network.link_value(u, v, self.metric) for u, v in zip(path, path[1:])
+            )
+        elif delivered:
+            value = self.metric.identity
+        return DeliveryReport(
+            source=source,
+            destination=destination,
+            delivered=delivered,
+            path=tuple(path),
+            value=value,
+            hop_count=max(0, len(path) - 1),
+        )

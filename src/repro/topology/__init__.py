@@ -1,0 +1,29 @@
+"""Wireless-network topologies: the network model, unit-disk construction and generators."""
+
+from repro.topology.generators import (
+    PAPER_FIELD,
+    FieldSpec,
+    FixedCountNetworkGenerator,
+    GridNetworkGenerator,
+    PoissonNetworkGenerator,
+    network_from_positions,
+)
+from repro.topology.network import Network
+from repro.topology.unit_disk import (
+    degree_to_intensity,
+    intensity_to_expected_nodes,
+    unit_disk_links,
+)
+
+__all__ = [
+    "Network",
+    "FieldSpec",
+    "PAPER_FIELD",
+    "PoissonNetworkGenerator",
+    "FixedCountNetworkGenerator",
+    "GridNetworkGenerator",
+    "network_from_positions",
+    "unit_disk_links",
+    "degree_to_intensity",
+    "intensity_to_expected_nodes",
+]

@@ -1,0 +1,227 @@
+"""The wireless-network model.
+
+The paper models the network as an undirected graph ``G = (V, E)`` in which an edge exists
+between two nodes exactly when their Euclidean distance is at most the (common) communication
+radius ``R``, links are bidirectional, and every link carries one weight per QoS metric.
+:class:`Network` is that object: node positions, undirected links, per-metric link weights --
+backed by a :class:`networkx.Graph` so the rest of the library (and downstream users) can
+reuse the networkx ecosystem when convenient.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.metrics.base import Metric
+from repro.metrics.assignment import WeightAssigner, canonical_edge
+from repro.utils.ids import NodeId, normalize_node_id
+
+Position = Tuple[float, float]
+
+
+class Network:
+    """An ad-hoc wireless network: positioned nodes, bidirectional QoS-weighted links."""
+
+    def __init__(self) -> None:
+        self._graph = nx.Graph()
+
+    # ------------------------------------------------------------------ construction
+
+    def add_node(self, node: NodeId, position: Optional[Position] = None) -> NodeId:
+        """Add a node (idempotent).  ``position`` defaults to the origin."""
+        node = normalize_node_id(node)
+        x, y = position if position is not None else (0.0, 0.0)
+        self._graph.add_node(node, pos=(float(x), float(y)))
+        return node
+
+    def add_link(self, u: NodeId, v: NodeId, **weights: float) -> None:
+        """Add a bidirectional link between ``u`` and ``v`` carrying the given metric weights.
+
+        Weights are keyword arguments keyed by metric name, e.g.
+        ``network.add_link(1, 2, bandwidth=5.0, delay=2.0)``.  Both endpoints must already
+        exist (or they are created at the origin).  Self-links are rejected.
+        """
+        u, v = normalize_node_id(u), normalize_node_id(v)
+        if u == v:
+            raise ValueError(f"self-links are not allowed (node {u})")
+        if u not in self._graph:
+            self.add_node(u)
+        if v not in self._graph:
+            self.add_node(v)
+        self._graph.add_edge(u, v, **{name: float(value) for name, value in weights.items()})
+
+    def set_link_weight(self, u: NodeId, v: NodeId, metric_name: str, value: float) -> None:
+        """Set (or overwrite) one metric weight on an existing link."""
+        if not self.has_link(u, v):
+            raise KeyError(f"no link between {u} and {v}")
+        self._graph.edges[u, v][metric_name] = float(value)
+
+    def apply_weight_assigner(self, assigner: WeightAssigner) -> None:
+        """Populate every link's weight for ``assigner.metric`` using the assigner."""
+        weights = assigner.assign(list(self.links()), dict(self.positions()))
+        for (u, v), value in weights.items():
+            self.set_link_weight(u, v, assigner.metric.name, value)
+
+    @classmethod
+    def from_links(
+        cls,
+        links: Mapping[Tuple[NodeId, NodeId], Mapping[str, float]] | Iterable[Tuple[NodeId, NodeId]],
+        positions: Optional[Mapping[NodeId, Position]] = None,
+    ) -> "Network":
+        """Build a network from an explicit link table.
+
+        ``links`` is either a mapping ``{(u, v): {metric: weight, ...}}`` or a bare iterable
+        of ``(u, v)`` pairs (weightless links, useful with a weight assigner).
+        """
+        network = cls()
+        if positions:
+            for node, position in positions.items():
+                network.add_node(node, position)
+        if isinstance(links, Mapping):
+            for (u, v), weights in links.items():
+                network.add_link(u, v, **dict(weights))
+        else:
+            for u, v in links:
+                network.add_link(u, v)
+        return network
+
+    # ------------------------------------------------------------------ queries
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The underlying :class:`networkx.Graph` (shared, not a copy)."""
+        return self._graph
+
+    def nodes(self) -> list[NodeId]:
+        """All node identifiers, sorted."""
+        return sorted(self._graph.nodes)
+
+    def links(self) -> list[Tuple[NodeId, NodeId]]:
+        """All links in canonical (sorted-endpoint) orientation."""
+        return [canonical_edge(u, v) for u, v in self._graph.edges]
+
+    def __len__(self) -> int:
+        return self._graph.number_of_nodes()
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._graph
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(sorted(self._graph.nodes))
+
+    def number_of_links(self) -> int:
+        """Number of (undirected) links."""
+        return self._graph.number_of_edges()
+
+    def has_link(self, u: NodeId, v: NodeId) -> bool:
+        """True when a (bidirectional) link exists between ``u`` and ``v``."""
+        return self._graph.has_edge(u, v)
+
+    def position(self, node: NodeId) -> Position:
+        """The (x, y) position of ``node``."""
+        return self._graph.nodes[node]["pos"]
+
+    def positions(self) -> Dict[NodeId, Position]:
+        """Mapping of every node to its position."""
+        return {node: data["pos"] for node, data in self._graph.nodes(data=True)}
+
+    def distance(self, u: NodeId, v: NodeId) -> float:
+        """Euclidean distance between two nodes."""
+        (x1, y1), (x2, y2) = self.position(u), self.position(v)
+        return math.hypot(x1 - x2, y1 - y2)
+
+    def link_attributes(self, u: NodeId, v: NodeId) -> Dict[str, float]:
+        """All metric weights carried by the link (a copy)."""
+        if not self.has_link(u, v):
+            raise KeyError(f"no link between {u} and {v}")
+        return dict(self._graph.edges[u, v])
+
+    def link_value(self, u: NodeId, v: NodeId, metric: Metric) -> float:
+        """The weight of link (u, v) under ``metric``."""
+        return metric.link_value_from_attributes(self.link_attributes(u, v))
+
+    # ------------------------------------------------------------------ neighborhoods
+
+    def neighbors(self, node: NodeId) -> Set[NodeId]:
+        """The one-hop neighborhood ``N(node)``."""
+        return set(self._graph.neighbors(node))
+
+    def two_hop_neighbors(self, node: NodeId) -> Set[NodeId]:
+        """The strict two-hop neighborhood ``N²(node)``.
+
+        Per the paper's definition this excludes the node itself and its one-hop neighbors.
+        """
+        one_hop = self.neighbors(node)
+        two_hop: Set[NodeId] = set()
+        for neighbor in one_hop:
+            two_hop.update(self._graph.neighbors(neighbor))
+        two_hop.discard(node)
+        return two_hop - one_hop
+
+    def degree(self, node: NodeId) -> int:
+        """Number of one-hop neighbors of ``node``."""
+        return self._graph.degree[node]
+
+    def average_degree(self) -> float:
+        """Mean node degree over the network (0.0 for an empty network)."""
+        if self._graph.number_of_nodes() == 0:
+            return 0.0
+        return 2.0 * self._graph.number_of_edges() / self._graph.number_of_nodes()
+
+    # ------------------------------------------------------------------ connectivity
+
+    def is_connected(self) -> bool:
+        """True when the network has at least one node and is connected."""
+        return self._graph.number_of_nodes() > 0 and nx.is_connected(self._graph)
+
+    def connected_components(self) -> list[Set[NodeId]]:
+        """The connected components, largest first."""
+        return sorted((set(c) for c in nx.connected_components(self._graph)), key=len, reverse=True)
+
+    def largest_component(self) -> "Network":
+        """A copy of the network restricted to its largest connected component."""
+        components = self.connected_components()
+        if not components:
+            return Network()
+        return self.subnetwork(components[0])
+
+    def subnetwork(self, nodes: Iterable[NodeId]) -> "Network":
+        """A copy of the network induced by ``nodes``."""
+        keep = set(nodes)
+        sub = Network()
+        for node in keep:
+            if node in self._graph:
+                sub.add_node(node, self.position(node))
+        for u, v in self._graph.edges:
+            if u in keep and v in keep:
+                sub.add_link(u, v, **self.link_attributes(u, v))
+        return sub
+
+    def copy(self) -> "Network":
+        """A deep copy of the network."""
+        return self.subnetwork(self._graph.nodes)
+
+    # ------------------------------------------------------------------ misc
+
+    def validate_metric_coverage(self, metric: Metric) -> None:
+        """Check that every link carries a (legal) weight for ``metric``.
+
+        Experiments call this once up front so a missing weight surfaces as a clear error
+        rather than a :class:`KeyError` deep inside a path computation.
+        """
+        for u, v in self.links():
+            value = self.link_value(u, v, metric)
+            metric.validate_link_value(value)
+
+    def describe(self) -> str:
+        """One-line human-readable summary, used by examples and the CLI."""
+        return (
+            f"Network(nodes={len(self)}, links={self.number_of_links()}, "
+            f"avg_degree={self.average_degree():.2f}, connected={self.is_connected()})"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.describe()

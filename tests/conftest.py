@@ -1,0 +1,84 @@
+"""Shared fixtures: metrics, small hand-built networks and random-network factories."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.metrics import BandwidthMetric, DelayMetric, UniformWeightAssigner
+from repro.topology import FieldSpec, FixedCountNetworkGenerator, GridNetworkGenerator, Network
+
+
+@pytest.fixture
+def bandwidth():
+    return BandwidthMetric()
+
+
+@pytest.fixture
+def delay():
+    return DelayMetric()
+
+
+@pytest.fixture
+def line_network() -> Network:
+    """A 4-node line 0-1-2-3 with both bandwidth and delay weights."""
+    network = Network()
+    positions = {0: (0, 0), 1: (50, 0), 2: (100, 0), 3: (150, 0)}
+    for node, pos in positions.items():
+        network.add_node(node, pos)
+    network.add_link(0, 1, bandwidth=5.0, delay=1.0)
+    network.add_link(1, 2, bandwidth=3.0, delay=2.0)
+    network.add_link(2, 3, bandwidth=4.0, delay=1.0)
+    return network
+
+
+@pytest.fixture
+def diamond_network() -> Network:
+    """A diamond 0-(1|2)-3 where the two middle relays differ in quality.
+
+    Path 0-1-3: bandwidth 4, delay 6.  Path 0-2-3: bandwidth 2, delay 2.  Direct link 0-3
+    exists but is weak (bandwidth 1, delay 10), so QoS-aware selection must prefer a relay.
+    """
+    network = Network()
+    for node, pos in {0: (0, 0), 1: (50, 40), 2: (50, -40), 3: (100, 0)}.items():
+        network.add_node(node, pos)
+    network.add_link(0, 1, bandwidth=4.0, delay=3.0)
+    network.add_link(1, 3, bandwidth=5.0, delay=3.0)
+    network.add_link(0, 2, bandwidth=2.0, delay=1.0)
+    network.add_link(2, 3, bandwidth=3.0, delay=1.0)
+    network.add_link(0, 3, bandwidth=1.0, delay=10.0)
+    return network
+
+
+@pytest.fixture
+def grid_network(bandwidth, delay) -> Network:
+    """A 4x4 grid with seeded random weights for both metrics (connected, deterministic)."""
+    assigners = (
+        UniformWeightAssigner(metric=bandwidth, low=1.0, high=10.0, seed=11),
+        UniformWeightAssigner(metric=delay, low=1.0, high=10.0, seed=12),
+    )
+    return GridNetworkGenerator(
+        rows=4, columns=4, spacing=80.0, radius=100.0, weight_assigners=assigners
+    ).generate()
+
+
+@pytest.fixture
+def random_network_factory(bandwidth, delay):
+    """Factory producing connected random geometric networks with both metrics weighted."""
+
+    def build(node_count: int = 30, seed: int = 0, radius: float = 120.0) -> Network:
+        assigners = (
+            UniformWeightAssigner(metric=bandwidth, low=1.0, high=10.0, seed=seed),
+            UniformWeightAssigner(metric=delay, low=1.0, high=10.0, seed=seed + 1),
+        )
+        generator = FixedCountNetworkGenerator(
+            field=FieldSpec(width=300.0, height=300.0, radius=radius),
+            node_count=node_count,
+            seed=seed,
+            weight_assigners=assigners,
+            restrict_to_largest_component=True,
+        )
+        return generator.generate()
+
+    return build

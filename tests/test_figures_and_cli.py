@@ -1,0 +1,78 @@
+"""Tests for the per-figure entry points and the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import FIGURES, run_all_figures, run_figure, smoke_config
+from repro.experiments.cli import build_parser, main
+from repro.experiments.figures import figure6, figure7, figure8, figure9
+
+
+class TestFigureEntryPoints:
+    def test_figure_registry_covers_the_evaluation_section(self):
+        assert set(FIGURES) == {6, 7, 8, 9}
+
+    def test_figure6_uses_bandwidth_and_figure7_uses_delay(self):
+        result6 = figure6(smoke_config("bandwidth"))
+        result7 = figure7(smoke_config("delay"))
+        assert result6.metric_name == "bandwidth"
+        assert result7.metric_name == "delay"
+        assert result6.experiment_id == "fig6"
+        assert result7.experiment_id == "fig7"
+
+    def test_figure8_and_figure9_report_overheads(self):
+        result8 = figure8(smoke_config("bandwidth"))
+        result9 = figure9(smoke_config("delay"))
+        assert "overhead" in result8.y_label
+        assert result9.metric_name == "delay"
+
+    def test_run_figure_by_number_and_unknown_number(self):
+        result = run_figure(6, smoke_config("bandwidth"))
+        assert result.experiment_id == "fig6"
+        with pytest.raises(KeyError):
+            run_figure(3)
+
+    def test_run_all_figures_smoke(self):
+        results = run_all_figures("smoke")
+        assert set(results) == {6, 7, 8, 9}
+        for number, result in results.items():
+            assert result.series, f"figure {number} produced no series"
+
+
+class TestCli:
+    def test_parser_requires_a_figure_or_all(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+        args = parser.parse_args(["--figure", "6", "--profile", "smoke"])
+        assert args.figure == 6 and args.profile == "smoke"
+
+    def test_cli_single_figure_with_outputs(self, tmp_path, capsys):
+        output = tmp_path / "report.txt"
+        json_output = tmp_path / "results.json"
+        exit_code = main(
+            [
+                "--figure",
+                "6",
+                "--profile",
+                "smoke",
+                "--quiet",
+                "--output",
+                str(output),
+                "--json",
+                str(json_output),
+            ]
+        )
+        assert exit_code == 0
+        printed = capsys.readouterr().out
+        assert "fig6" in printed
+        assert "fig6" in output.read_text()
+        assert "fig6" in json.loads(json_output.read_text())
+
+    def test_cli_overrides_runs_and_seed(self, capsys):
+        exit_code = main(["--figure", "7", "--profile", "smoke", "--runs", "1", "--seed", "7", "--quiet"])
+        assert exit_code == 0
+        assert "fig7" in capsys.readouterr().out

@@ -1,0 +1,108 @@
+"""Tests for the local view ``G_u``: construction from a network and from protocol tables."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.localview import LocalView
+from repro.metrics import BandwidthMetric
+from repro.papergraphs import FIGURE2_OWNER, figure2_network
+from repro.topology import Network
+
+
+class TestFromNetwork:
+    def test_one_and_two_hop_sets(self, line_network):
+        view = LocalView.from_network(line_network, 1)
+        assert view.owner == 1
+        assert view.one_hop == {0, 2}
+        assert view.two_hop == {3}
+
+    def test_unknown_owner_raises(self, line_network):
+        with pytest.raises(KeyError):
+            LocalView.from_network(line_network, 99)
+
+    def test_view_contains_only_links_touching_a_neighbor(self):
+        """Links between two 2-hop neighbors are invisible (the paper's v8-v9 example)."""
+        network = figure2_network()
+        view = LocalView.from_network(network, FIGURE2_OWNER)
+        assert not view.has_link(8, 9)           # both are two-hop neighbors of u
+        assert view.has_link(6, 8)               # one endpoint is a one-hop neighbor
+        assert view.has_link(FIGURE2_OWNER, 6)
+
+    def test_link_weights_carried_over(self, line_network, bandwidth):
+        view = LocalView.from_network(line_network, 1)
+        assert view.link_value(1, 2, bandwidth) == 3.0
+        assert view.direct_link_value(0, bandwidth) == 5.0
+
+    def test_direct_link_value_requires_one_hop_neighbor(self, line_network, bandwidth):
+        view = LocalView.from_network(line_network, 0)
+        with pytest.raises(KeyError):
+            view.direct_link_value(2, bandwidth)
+
+    def test_known_targets_sorted(self, line_network):
+        view = LocalView.from_network(line_network, 0)
+        assert view.known_targets() == [1, 2]
+
+    def test_common_relays(self, diamond_network):
+        view = LocalView.from_network(diamond_network, 0)
+        assert view.common_relays(3) == {1, 2}
+
+    def test_neighbors_of_unknown_node_is_empty(self, line_network):
+        view = LocalView.from_network(line_network, 0)
+        assert view.neighbors_of(42) == set()
+
+    def test_graph_without_owner(self, diamond_network):
+        view = LocalView.from_network(diamond_network, 0)
+        stripped = view.graph_without_owner()
+        assert 0 not in stripped
+        assert stripped.has_edge(1, 3)
+
+
+class TestFromTables:
+    def test_round_trip_equivalence_with_network_view(self, diamond_network):
+        """A view rebuilt from HELLO-style tables matches the one built from the network."""
+        direct = LocalView.from_network(diamond_network, 0)
+        neighbor_links = {
+            n: diamond_network.link_attributes(0, n) for n in diamond_network.neighbors(0)
+        }
+        two_hop_links = {
+            n: {
+                m: diamond_network.link_attributes(n, m)
+                for m in diamond_network.neighbors(n)
+                if m != 0
+            }
+            for n in diamond_network.neighbors(0)
+        }
+        rebuilt = LocalView.from_tables(0, neighbor_links, two_hop_links)
+        assert rebuilt.one_hop == direct.one_hop
+        assert rebuilt.two_hop == direct.two_hop
+        assert set(rebuilt.graph.edges) == set(direct.graph.edges)
+
+    def test_stale_reports_from_non_neighbors_are_ignored(self):
+        view = LocalView.from_tables(
+            owner=0,
+            neighbor_links={1: {"bandwidth": 2.0}},
+            two_hop_links={9: {5: {"bandwidth": 1.0}}},  # 9 is not a neighbor
+        )
+        assert view.one_hop == {1}
+        assert view.two_hop == set()
+
+    def test_validation_rejects_owner_in_neighbor_sets(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1, bandwidth=1.0)
+        with pytest.raises(ValueError):
+            LocalView(owner=0, one_hop={0, 1}, two_hop=set(), graph=graph)
+
+    def test_validation_rejects_overlapping_sets(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1, bandwidth=1.0)
+        with pytest.raises(ValueError):
+            LocalView(owner=0, one_hop={1}, two_hop={1}, graph=graph)
+
+    def test_validation_requires_direct_links(self):
+        graph = nx.Graph()
+        graph.add_node(0)
+        graph.add_node(1)
+        with pytest.raises(ValueError):
+            LocalView(owner=0, one_hop={1}, two_hop=set(), graph=graph)

@@ -1,0 +1,222 @@
+"""Tests for the best-path solver, the first-hop sets and the RNG reduction."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.localview import (
+    LocalView,
+    all_first_hops,
+    best_value_between,
+    best_values_from,
+    dominated_links,
+    enumerate_best_paths,
+    first_hops_to,
+    path_value,
+    qos_rng_reduce,
+)
+from repro.metrics import BandwidthMetric, DelayMetric
+from repro.papergraphs import FIGURE2_OWNER, figure2_network
+
+
+def _figure2_view():
+    return LocalView.from_network(figure2_network(), FIGURE2_OWNER)
+
+
+class TestBestValues:
+    def test_delay_matches_networkx_dijkstra(self, grid_network, delay):
+        graph = grid_network.graph
+        ours = best_values_from(graph, 0, delay)
+        reference = nx.single_source_dijkstra_path_length(graph, 0, weight="delay")
+        assert set(ours) == set(reference)
+        for node, value in reference.items():
+            assert ours[node] == pytest.approx(value)
+
+    def test_bandwidth_is_widest_path(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1, bandwidth=2.0)
+        graph.add_edge(1, 3, bandwidth=9.0)
+        graph.add_edge(0, 2, bandwidth=5.0)
+        graph.add_edge(2, 3, bandwidth=4.0)
+        values = best_values_from(graph, 0, BandwidthMetric())
+        assert values[3] == 4.0  # via 2, bottleneck 4 beats via 1 (bottleneck 2)
+
+    def test_excluded_nodes_are_not_traversed(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1, delay=1.0)
+        graph.add_edge(1, 2, delay=1.0)
+        values = best_values_from(graph, 0, DelayMetric(), excluded=(1,))
+        assert 2 not in values
+        assert values == {0: 0.0}
+
+    def test_source_excluded_or_missing_gives_empty(self, delay):
+        graph = nx.Graph()
+        graph.add_edge(0, 1, delay=1.0)
+        assert best_values_from(graph, 0, delay, excluded=(0,)) == {}
+        assert best_values_from(graph, 9, delay) == {}
+
+    def test_best_value_between_unreachable_is_worst(self, delay, bandwidth):
+        graph = nx.Graph()
+        graph.add_node(0)
+        graph.add_node(1)
+        assert best_value_between(graph, 0, 1, delay) == math.inf
+        assert best_value_between(graph, 0, 1, bandwidth) == 0.0
+
+    def test_path_value_evaluates_true_weights(self, line_network, bandwidth, delay):
+        assert path_value(line_network.graph, [0, 1, 2, 3], bandwidth) == 3.0
+        assert path_value(line_network.graph, [0, 1, 2, 3], delay) == 4.0
+
+    def test_path_value_rejects_broken_paths(self, line_network, delay):
+        with pytest.raises(KeyError):
+            path_value(line_network.graph, [0, 2], delay)
+        with pytest.raises(ValueError):
+            path_value(line_network.graph, [], delay)
+
+
+class TestFirstHops:
+    def test_paper_example_fp_u_v3(self, bandwidth):
+        """The paper: fP_BW(u, v3) = {v1, v2} with value 4."""
+        result = first_hops_to(_figure2_view(), 3, bandwidth)
+        assert result.best_value == 4.0
+        assert result.first_hops == frozenset({1, 2})
+        assert not result.direct_link_is_optimal()
+
+    def test_paper_example_v4_reached_through_three_hop_path(self, bandwidth):
+        """The paper: u should reach v4 through u-v1-v5-v4 (bandwidth 5), not directly (3)."""
+        result = first_hops_to(_figure2_view(), 4, bandwidth)
+        assert result.best_value == 5.0
+        assert result.first_hops == frozenset({1})
+
+    def test_paper_example_direct_link_optimal_for_v7(self, bandwidth):
+        result = first_hops_to(_figure2_view(), 7, bandwidth)
+        assert result.direct_link_is_optimal()
+
+    def test_paper_example_invisible_link_limits_v9(self, bandwidth):
+        """u cannot see (v8, v9), so its best path to v9 has bandwidth 3 (via v7)."""
+        result = first_hops_to(_figure2_view(), 9, bandwidth)
+        assert result.best_value == 3.0
+        assert result.first_hops == frozenset({7})
+
+    def test_owner_as_target_rejected(self, bandwidth):
+        with pytest.raises(ValueError):
+            first_hops_to(_figure2_view(), FIGURE2_OWNER, bandwidth)
+
+    def test_unknown_target_is_unreachable(self, bandwidth):
+        result = first_hops_to(_figure2_view(), 999, bandwidth)
+        assert not result.reachable
+        assert result.best_value == bandwidth.worst
+
+    def test_all_first_hops_covers_every_known_target(self, bandwidth):
+        view = _figure2_view()
+        results = all_first_hops(view, bandwidth)
+        assert set(results) == set(view.known_targets())
+        assert all(results[target].reachable for target in view.known_targets())
+
+    def test_all_first_hops_fast_methods_match_reference(self, grid_network, bandwidth, delay):
+        for node in (0, 5, 10, 15):
+            view = LocalView.from_network(grid_network, node)
+            for metric in (bandwidth, delay):
+                fast = all_first_hops(view, metric, method="auto")
+                reference = all_first_hops(view, metric, method="per-target")
+                assert fast == reference
+
+    def test_all_first_hops_method_validation(self, bandwidth, delay):
+        view = _figure2_view()
+        with pytest.raises(ValueError):
+            all_first_hops(view, bandwidth, method="owner-dijkstra")
+        with pytest.raises(ValueError):
+            all_first_hops(view, delay, method="bottleneck-forest")
+        with pytest.raises(ValueError):
+            all_first_hops(view, bandwidth, method="nonsense")
+
+    def test_first_hops_are_always_one_hop_neighbors(self, random_network_factory, bandwidth):
+        network = random_network_factory(25, seed=3)
+        for node in list(network.nodes())[:10]:
+            view = LocalView.from_network(network, node)
+            for result in all_first_hops(view, bandwidth).values():
+                assert result.first_hops <= view.one_hop
+
+
+class TestEnumerateBestPaths:
+    def test_enumerates_all_optimal_paths(self, bandwidth):
+        view = _figure2_view()
+        paths = enumerate_best_paths(view.graph, FIGURE2_OWNER, 3, bandwidth)
+        assert [FIGURE2_OWNER, 1, 3] in paths
+        assert [FIGURE2_OWNER, 2, 3] in paths
+        assert all(path[0] == FIGURE2_OWNER and path[-1] == 3 for path in paths)
+
+    def test_every_enumerated_path_has_the_optimal_value(self, grid_network, delay):
+        best = best_value_between(grid_network.graph, 0, 15, delay)
+        for path in enumerate_best_paths(grid_network.graph, 0, 15, delay):
+            assert path_value(grid_network.graph, path, delay) == pytest.approx(best)
+
+    def test_unreachable_gives_empty_list(self, delay):
+        graph = nx.Graph()
+        graph.add_node(0)
+        graph.add_node(1)
+        assert enumerate_best_paths(graph, 0, 1, delay) == []
+
+    def test_max_paths_guard(self, bandwidth):
+        graph = nx.Graph()
+        # A ladder of parallel equal-bandwidth two-hop segments: optimal paths multiply.
+        for level in range(6):
+            graph.add_edge((level, "a"), (level + 1, "a"), bandwidth=5.0)
+        # add parallel alternatives
+        for level in range(6):
+            graph.add_edge((level, "a"), (level, "b"), bandwidth=5.0)
+            graph.add_edge((level, "b"), (level + 1, "a"), bandwidth=5.0)
+        with pytest.raises(RuntimeError):
+            enumerate_best_paths(graph, (0, "a"), (6, "a"), bandwidth, max_paths=3)
+
+
+class TestRngReduction:
+    def test_dominated_link_removed_for_bandwidth(self, bandwidth):
+        graph = nx.Graph()
+        graph.add_edge(1, 2, bandwidth=1.0)
+        graph.add_edge(1, 3, bandwidth=5.0)
+        graph.add_edge(3, 2, bandwidth=4.0)
+        reduced = qos_rng_reduce(graph, bandwidth)
+        assert not reduced.has_edge(1, 2)
+        assert reduced.has_edge(1, 3) and reduced.has_edge(3, 2)
+        assert dominated_links(graph, bandwidth) == {(1, 2)}
+
+    def test_dominated_link_removed_for_delay(self, delay):
+        graph = nx.Graph()
+        graph.add_edge(1, 2, delay=10.0)
+        graph.add_edge(1, 3, delay=2.0)
+        graph.add_edge(3, 2, delay=3.0)
+        reduced = qos_rng_reduce(graph, delay)
+        assert not reduced.has_edge(1, 2)
+
+    def test_link_kept_when_no_witness_dominates_both_legs(self, bandwidth):
+        graph = nx.Graph()
+        graph.add_edge(1, 2, bandwidth=4.0)
+        graph.add_edge(1, 3, bandwidth=5.0)
+        graph.add_edge(3, 2, bandwidth=3.0)  # second leg is worse than the direct link
+        reduced = qos_rng_reduce(graph, bandwidth)
+        assert reduced.has_edge(1, 2)
+
+    def test_reduction_preserves_widest_path_values(self, random_network_factory, bandwidth):
+        """A removed link is always the strict bottleneck of a triangle, so the maximum
+        spanning tree survives the reduction and every pair's widest-path value is intact."""
+        network = random_network_factory(25, seed=8)
+        graph = network.graph
+        reduced = qos_rng_reduce(graph, bandwidth)
+        nodes = sorted(graph.nodes)
+        source = nodes[0]
+        original = best_values_from(graph, source, bandwidth)
+        filtered = best_values_from(reduced, source, bandwidth)
+        assert set(original) == set(filtered)
+        for node, value in original.items():
+            assert filtered[node] == pytest.approx(value)
+
+    def test_input_graph_is_not_modified(self, bandwidth):
+        graph = nx.Graph()
+        graph.add_edge(1, 2, bandwidth=1.0)
+        graph.add_edge(1, 3, bandwidth=5.0)
+        graph.add_edge(3, 2, bandwidth=4.0)
+        qos_rng_reduce(graph, bandwidth)
+        assert graph.has_edge(1, 2)

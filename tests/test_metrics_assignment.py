@@ -1,0 +1,78 @@
+"""Tests for the link-weight assigners (uniform random as in the paper, and the others)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics import (
+    BandwidthMetric,
+    ConstantWeightAssigner,
+    DelayMetric,
+    DistanceProportionalAssigner,
+    ExplicitWeightAssigner,
+    UniformWeightAssigner,
+    canonical_edge,
+)
+
+
+EDGES = [(1, 2), (2, 3), (3, 1)]
+POSITIONS = {1: (0.0, 0.0), 2: (30.0, 40.0), 3: (0.0, 100.0)}
+
+
+class TestCanonicalEdge:
+    def test_orders_endpoints(self):
+        assert canonical_edge(5, 2) == (2, 5)
+        assert canonical_edge(2, 5) == (2, 5)
+
+
+class TestUniformAssigner:
+    def test_weights_within_interval(self):
+        assigner = UniformWeightAssigner(metric=BandwidthMetric(), low=2.0, high=4.0, seed=1)
+        weights = assigner.assign(EDGES, POSITIONS)
+        assert set(weights) == {canonical_edge(*edge) for edge in EDGES}
+        assert all(2.0 <= value <= 4.0 for value in weights.values())
+
+    def test_deterministic_per_seed_and_edge_order_independent(self):
+        assigner = UniformWeightAssigner(metric=DelayMetric(), low=1.0, high=10.0, seed=3)
+        forward = assigner.assign(EDGES, POSITIONS)
+        backward = assigner.assign([(b, a) for a, b in reversed(EDGES)], POSITIONS)
+        assert forward == backward
+
+    def test_different_seeds_give_different_weights(self):
+        first = UniformWeightAssigner(metric=DelayMetric(), seed=1).assign(EDGES, POSITIONS)
+        second = UniformWeightAssigner(metric=DelayMetric(), seed=2).assign(EDGES, POSITIONS)
+        assert first != second
+
+    def test_different_metrics_get_independent_draws(self):
+        bandwidth = UniformWeightAssigner(metric=BandwidthMetric(), seed=1).assign(EDGES, POSITIONS)
+        delay = UniformWeightAssigner(metric=DelayMetric(), seed=1).assign(EDGES, POSITIONS)
+        assert bandwidth != delay
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            UniformWeightAssigner(metric=BandwidthMetric(), low=5.0, high=2.0)
+
+
+class TestOtherAssigners:
+    def test_constant_assigner(self):
+        weights = ConstantWeightAssigner(metric=DelayMetric(), value=2.5).assign(EDGES, POSITIONS)
+        assert set(weights.values()) == {2.5}
+
+    def test_distance_proportional_assigner(self):
+        assigner = DistanceProportionalAssigner(metric=DelayMetric(), scale=0.1, offset=1.0)
+        weights = assigner.assign([(1, 2)], POSITIONS)
+        assert weights[(1, 2)] == pytest.approx(1.0 + 0.1 * 50.0)
+
+    def test_explicit_assigner_uses_table(self):
+        table = {(2, 1): 3.0, (2, 3): 4.0, (1, 3): 5.0}
+        weights = ExplicitWeightAssigner(metric=BandwidthMetric(), weights=table).assign(EDGES, POSITIONS)
+        assert weights[(1, 2)] == 3.0
+        assert weights[(2, 3)] == 4.0
+
+    def test_explicit_assigner_missing_edge(self):
+        with pytest.raises(ValueError):
+            ExplicitWeightAssigner(metric=BandwidthMetric(), weights={(1, 2): 3.0}).assign(EDGES, POSITIONS)
+
+    def test_explicit_assigner_requires_table(self):
+        with pytest.raises(ValueError):
+            ExplicitWeightAssigner(metric=BandwidthMetric()).assign(EDGES, POSITIONS)

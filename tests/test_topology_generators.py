@@ -1,0 +1,132 @@
+"""Tests for unit-disk construction and the topology generators (Poisson, fixed, grid)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics import BandwidthMetric, UniformWeightAssigner
+from repro.topology import (
+    FieldSpec,
+    FixedCountNetworkGenerator,
+    GridNetworkGenerator,
+    PoissonNetworkGenerator,
+    degree_to_intensity,
+    intensity_to_expected_nodes,
+    network_from_positions,
+    unit_disk_links,
+)
+
+
+class TestUnitDisk:
+    def test_links_exactly_within_radius(self):
+        positions = {1: (0.0, 0.0), 2: (50.0, 0.0), 3: (160.0, 0.0), 4: (50.0, 80.0)}
+        links = unit_disk_links(positions, radius=100.0)
+        assert (1, 2) in links          # 50 apart
+        assert (2, 4) in links          # 80 apart
+        assert (1, 4) in links          # ~94.3 apart
+        assert (2, 3) not in links      # 110 apart
+        assert (1, 3) not in links      # 160 apart
+        assert (3, 4) not in links      # ~136 apart
+
+    def test_boundary_distance_is_included(self):
+        positions = {1: (0.0, 0.0), 2: (100.0, 0.0)}
+        assert unit_disk_links(positions, radius=100.0) == [(1, 2)]
+
+    def test_matches_brute_force_on_random_positions(self):
+        import random
+
+        rng = random.Random(7)
+        positions = {i: (rng.uniform(0, 300), rng.uniform(0, 300)) for i in range(60)}
+        radius = 90.0
+        expected = sorted(
+            (min(a, b), max(a, b))
+            for a in positions
+            for b in positions
+            if a < b and math.dist(positions[a], positions[b]) <= radius
+        )
+        assert unit_disk_links(positions, radius) == expected
+
+    def test_requires_positive_radius(self):
+        with pytest.raises(ValueError):
+            unit_disk_links({1: (0, 0)}, radius=0)
+
+    def test_degree_intensity_conversion_matches_paper_footnote(self):
+        # lambda = delta / (pi R^2); with delta=20, R=100 over a 1000x1000 field the expected
+        # node count is 20 * 1e6 / (pi * 1e4) ~= 636.6
+        intensity = degree_to_intensity(20.0, 100.0)
+        expected_nodes = intensity_to_expected_nodes(intensity, 1000.0, 1000.0)
+        assert expected_nodes == pytest.approx(20.0 * 1_000_000 / (math.pi * 10_000))
+
+
+class TestGenerators:
+    def test_grid_generator_shape(self):
+        network = GridNetworkGenerator(rows=3, columns=4, spacing=80.0, radius=100.0).generate()
+        assert len(network) == 12
+        # Inner nodes have 4 neighbors (orthogonal only: diagonal is 113 > 100).
+        assert network.degree(5) == 4
+        assert network.is_connected()
+
+    def test_grid_generator_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            GridNetworkGenerator(rows=0, columns=3).generate()
+
+    def test_fixed_count_generator_is_deterministic(self):
+        generator = FixedCountNetworkGenerator(node_count=40, seed=9)
+        first, second = generator.generate(0), generator.generate(0)
+        assert first.nodes() == second.nodes()
+        assert first.links() == second.links()
+
+    def test_fixed_count_generator_run_index_changes_topology(self):
+        generator = FixedCountNetworkGenerator(node_count=40, seed=9)
+        assert generator.generate(0).links() != generator.generate(1).links()
+
+    def test_poisson_generator_node_count_tracks_density(self):
+        field = FieldSpec(width=1000.0, height=1000.0, radius=100.0)
+        sparse = PoissonNetworkGenerator(field=field, degree=5.0, seed=1).generate(0)
+        dense = PoissonNetworkGenerator(field=field, degree=20.0, seed=1).generate(0)
+        assert len(dense) > len(sparse) > 0
+        expected_dense = 20.0 * 1_000_000 / (math.pi * 10_000)
+        assert abs(len(dense) - expected_dense) / expected_dense < 0.25
+
+    def test_poisson_generator_mean_degree_near_target(self):
+        field = FieldSpec(width=1000.0, height=1000.0, radius=100.0)
+        network = PoissonNetworkGenerator(field=field, degree=15.0, seed=3).generate(0)
+        # Border effects push the empirical mean below the target; it must still be close.
+        assert 10.0 <= network.average_degree() <= 16.5
+
+    def test_poisson_generator_applies_weight_assigners(self):
+        metric = BandwidthMetric()
+        generator = PoissonNetworkGenerator(
+            degree=6.0,
+            seed=2,
+            field=FieldSpec(width=400, height=400, radius=100.0),
+            weight_assigners=(UniformWeightAssigner(metric=metric, low=1.0, high=9.0, seed=2),),
+        )
+        network = generator.generate(0)
+        network.validate_metric_coverage(metric)
+
+    def test_largest_component_restriction(self):
+        generator = FixedCountNetworkGenerator(
+            node_count=60,
+            seed=4,
+            field=FieldSpec(width=800, height=800, radius=90.0),
+            restrict_to_largest_component=True,
+        )
+        network = generator.generate(0)
+        assert network.is_connected()
+
+    def test_network_from_positions(self):
+        network = network_from_positions({1: (0, 0), 2: (50, 0), 3: (200, 0)}, radius=100.0)
+        assert network.has_link(1, 2)
+        assert not network.has_link(2, 3)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=25), st.integers(min_value=0, max_value=1000))
+    def test_fixed_count_generator_always_honors_count_before_restriction(self, count, seed):
+        network = FixedCountNetworkGenerator(
+            node_count=count, seed=seed, field=FieldSpec(width=200, height=200, radius=80)
+        ).generate(0)
+        assert len(network) == count

@@ -1,0 +1,130 @@
+"""Tests for the Network model: links, neighborhoods, connectivity, weight handling."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.metrics import BandwidthMetric, DelayMetric, UniformWeightAssigner
+from repro.topology import Network
+
+
+class TestConstruction:
+    def test_add_node_and_position(self):
+        network = Network()
+        network.add_node(1, (10.0, 20.0))
+        assert 1 in network
+        assert network.position(1) == (10.0, 20.0)
+
+    def test_add_link_creates_missing_endpoints(self):
+        network = Network()
+        network.add_link(1, 2, bandwidth=3.0)
+        assert network.has_link(1, 2)
+        assert network.has_link(2, 1)
+        assert len(network) == 2
+
+    def test_self_links_rejected(self):
+        network = Network()
+        with pytest.raises(ValueError):
+            network.add_link(1, 1, bandwidth=3.0)
+
+    def test_from_links_with_weights_and_positions(self):
+        network = Network.from_links(
+            {(1, 2): {"bandwidth": 4.0}, (2, 3): {"bandwidth": 2.0}},
+            positions={1: (0, 0), 2: (1, 1), 3: (2, 2)},
+        )
+        assert network.link_value(1, 2, BandwidthMetric()) == 4.0
+        assert network.position(3) == (2.0, 2.0)
+
+    def test_from_links_weightless(self):
+        network = Network.from_links([(1, 2), (2, 3)])
+        assert network.number_of_links() == 2
+
+
+class TestWeights:
+    def test_link_value_per_metric(self, line_network, bandwidth, delay):
+        assert line_network.link_value(0, 1, bandwidth) == 5.0
+        assert line_network.link_value(0, 1, delay) == 1.0
+
+    def test_link_attributes_returns_copy(self, line_network):
+        attributes = line_network.link_attributes(0, 1)
+        attributes["bandwidth"] = 99.0
+        assert line_network.link_value(0, 1, BandwidthMetric()) == 5.0
+
+    def test_missing_link_raises(self, line_network):
+        with pytest.raises(KeyError):
+            line_network.link_attributes(0, 3)
+
+    def test_set_link_weight(self, line_network, bandwidth):
+        line_network.set_link_weight(0, 1, "bandwidth", 7.5)
+        assert line_network.link_value(0, 1, bandwidth) == 7.5
+
+    def test_set_link_weight_on_missing_link(self, line_network):
+        with pytest.raises(KeyError):
+            line_network.set_link_weight(0, 3, "bandwidth", 1.0)
+
+    def test_apply_weight_assigner_covers_all_links(self, line_network, delay):
+        line_network.apply_weight_assigner(
+            UniformWeightAssigner(metric=delay, low=2.0, high=3.0, seed=5)
+        )
+        line_network.validate_metric_coverage(delay)
+        for u, v in line_network.links():
+            assert 2.0 <= line_network.link_value(u, v, delay) <= 3.0
+
+    def test_validate_metric_coverage_detects_missing_weight(self, bandwidth):
+        network = Network.from_links({(1, 2): {"delay": 1.0}})
+        with pytest.raises(KeyError):
+            network.validate_metric_coverage(bandwidth)
+
+
+class TestNeighborhoods:
+    def test_neighbors(self, line_network):
+        assert line_network.neighbors(1) == {0, 2}
+
+    def test_two_hop_neighbors_exclude_self_and_one_hop(self, line_network):
+        assert line_network.two_hop_neighbors(0) == {2}
+        assert line_network.two_hop_neighbors(1) == {3}
+
+    def test_degree_and_average_degree(self, line_network):
+        assert line_network.degree(0) == 1
+        assert line_network.degree(1) == 2
+        assert line_network.average_degree() == pytest.approx(2 * 3 / 4)
+
+    def test_distance(self, line_network):
+        assert line_network.distance(0, 2) == pytest.approx(100.0)
+
+
+class TestConnectivity:
+    def test_connected_detection(self, line_network):
+        assert line_network.is_connected()
+        line_network.add_node(99, (500.0, 500.0))
+        assert not line_network.is_connected()
+
+    def test_largest_component(self, line_network):
+        line_network.add_node(99, (500.0, 500.0))
+        line_network.add_link(99, 98, bandwidth=1.0)
+        largest = line_network.largest_component()
+        assert set(largest.nodes()) == {0, 1, 2, 3}
+
+    def test_subnetwork_preserves_weights_and_positions(self, line_network, bandwidth):
+        sub = line_network.subnetwork([0, 1, 2])
+        assert sub.link_value(1, 2, bandwidth) == 3.0
+        assert sub.position(2) == line_network.position(2)
+        assert not sub.has_link(2, 3)
+
+    def test_copy_is_independent(self, line_network, bandwidth):
+        clone = line_network.copy()
+        clone.set_link_weight(0, 1, "bandwidth", 42.0)
+        assert line_network.link_value(0, 1, bandwidth) == 5.0
+
+    def test_describe_mentions_counts(self, line_network):
+        text = line_network.describe()
+        assert "nodes=4" in text and "links=3" in text
+
+    def test_empty_network_properties(self):
+        network = Network()
+        assert len(network) == 0
+        assert network.average_degree() == 0.0
+        assert not network.is_connected()
+        assert network.largest_component().nodes() == []
