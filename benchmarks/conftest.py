@@ -1,10 +1,27 @@
 """Shared configuration for the benchmark suite.
 
 Every figure benchmark runs the same harness the paper's evaluation uses, on a reduced
-profile by default so the whole suite finishes in a few minutes.  Set the environment
-variable ``REPRO_BENCH_PROFILE=paper`` to run the full 100-run sweeps at the paper's
-densities (this takes hours -- it is the configuration recorded in ``EXPERIMENTS.md``'s
-"full profile" runs), or ``REPRO_BENCH_PROFILE=smoke`` for a seconds-long sanity pass.
+profile by default so the whole suite finishes in a few minutes.
+
+Profiles (``REPRO_BENCH_PROFILE`` environment variable):
+
+* ``quick`` (default) -- trimmed densities, 1 run per density, sampled nodes; keeps the
+  paper's x-axis shape while staying laptop-friendly.
+* ``paper`` -- the full evaluation: 100 runs per density at the paper's densities (up to
+  ~1100 nodes of degree 35).  This is the configuration recorded in ``EXPERIMENTS.md``'s
+  "full profile" runs.
+* ``smoke`` -- a seconds-long sanity pass (one tiny density, one run).
+
+Parallelism (``REPRO_WORKERS`` environment variable): the sweep harness fans the
+independent trials of each density out over that many worker processes (``0`` = one per
+CPU; unset = serial).  Each trial is derived deterministically from its run index and the
+results are aggregated in run order, so sweep outputs are bit-identical whatever the worker
+count -- ``REPRO_WORKERS`` only changes the wall clock, which is what makes the ``paper``
+profile routine on a multi-core machine.
+
+``record.py`` (run directly, not collected by pytest) times the selection micro-benchmark
+and writes ``BENCH_selection.json`` at the repository root so the perf trajectory stays
+machine-readable across PRs.
 """
 
 from __future__ import annotations

@@ -1,0 +1,137 @@
+"""Record the selection micro-benchmark trajectory as machine-readable JSON.
+
+Times the all-targets first-hop computation (the inner loop of every density sweep) on the
+same dense local view as ``test_bench_micro_selection.py``, for every solver method and for
+the legacy networkx implementations the compact-graph core replaced, and writes the results
+(targets/sec per method plus the compact-vs-networkx speedups) to ``BENCH_selection.json``
+at the repository root.  Successive PRs re-run this to keep the perf trajectory comparable
+across versions::
+
+    PYTHONPATH=src python benchmarks/record.py            # writes BENCH_selection.json
+    PYTHONPATH=src python benchmarks/record.py --rounds 60 --output /tmp/bench.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.localview import LocalView, all_first_hops  # noqa: E402
+from repro.localview.paths import (  # noqa: E402
+    _all_first_hops_bottleneck_forest_nx,
+    _all_first_hops_owner_dijkstra_nx,
+    _first_hops_to_nx,
+)
+from repro.metrics import BandwidthMetric, DelayMetric, UniformWeightAssigner  # noqa: E402
+from repro.topology import FieldSpec, FixedCountNetworkGenerator  # noqa: E402
+
+
+def dense_view() -> LocalView:
+    """The dense benchmark view (mirrors ``test_bench_micro_selection._dense_view``)."""
+    metrics = (BandwidthMetric(), DelayMetric())
+    assigners = tuple(
+        UniformWeightAssigner(metric=metric, low=1.0, high=10.0, seed=31 + i)
+        for i, metric in enumerate(metrics)
+    )
+    network = FixedCountNetworkGenerator(
+        field=FieldSpec(width=420.0, height=420.0, radius=100.0),
+        node_count=220,
+        seed=13,
+        weight_assigners=assigners,
+        restrict_to_largest_component=True,
+    ).generate()
+    owner = network.nodes()[len(network) // 2]
+    return LocalView.from_network(network, owner)
+
+
+def _cases(view: LocalView):
+    bandwidth, delay = BandwidthMetric(), DelayMetric()
+    return {
+        "owner-dijkstra": lambda: all_first_hops(view, delay, method="owner-dijkstra"),
+        "bottleneck-forest": lambda: all_first_hops(view, bandwidth, method="bottleneck-forest"),
+        "per-target-delay": lambda: all_first_hops(view, delay, method="per-target"),
+        "per-target-bandwidth": lambda: all_first_hops(view, bandwidth, method="per-target"),
+        "owner-dijkstra-networkx": lambda: _all_first_hops_owner_dijkstra_nx(view, delay),
+        "bottleneck-forest-networkx": lambda: _all_first_hops_bottleneck_forest_nx(view, bandwidth),
+        "per-target-delay-networkx": lambda: {
+            target: _first_hops_to_nx(view, target, delay) for target in view.known_targets()
+        },
+        "per-target-bandwidth-networkx": lambda: {
+            target: _first_hops_to_nx(view, target, bandwidth) for target in view.known_targets()
+        },
+    }
+
+
+def time_case(fn, rounds: int) -> dict:
+    fn()  # warm-up (also populates the view's per-metric compact-graph cache)
+    samples = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return {
+        "rounds": rounds,
+        "min_s": min(samples),
+        "mean_s": sum(samples) / len(samples),
+    }
+
+
+def record(rounds: int) -> dict:
+    view = dense_view()
+    targets = len(view.known_targets())
+    results = {}
+    for name, fn in _cases(view).items():
+        timing = time_case(fn, rounds)
+        timing["targets_per_s"] = targets / timing["min_s"]
+        results[name] = timing
+
+    speedups = {
+        name: results[f"{name}-networkx"]["min_s"] / results[name]["min_s"]
+        for name in ("owner-dijkstra", "bottleneck-forest", "per-target-delay", "per-target-bandwidth")
+        if f"{name}-networkx" in results
+    }
+    return {
+        "benchmark": "micro_selection.all_first_hops",
+        "view": {
+            "nodes": len(view.nodes),
+            "one_hop": len(view.one_hop),
+            "targets": targets,
+            "edges": view.graph.number_of_edges(),
+        },
+        "python": platform.python_version(),
+        "results": results,
+        "speedup_vs_networkx": speedups,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rounds", type=int, default=40, help="timed rounds per method")
+    parser.add_argument(
+        "--output",
+        default=str(REPO_ROOT / "BENCH_selection.json"),
+        help="where to write the JSON record",
+    )
+    args = parser.parse_args(argv)
+
+    payload = record(args.rounds)
+    Path(args.output).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    for name in sorted(payload["results"]):
+        timing = payload["results"][name]
+        print(f"{name:32s} min {timing['min_s'] * 1e3:8.3f} ms   {timing['targets_per_s']:10.0f} targets/s")
+    for name, speedup in sorted(payload["speedup_vs_networkx"].items()):
+        print(f"speedup vs networkx: {name:24s} {speedup:5.2f}x")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

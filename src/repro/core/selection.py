@@ -86,12 +86,12 @@ class AnsSelector(ABC):
         """Run the selection at ``view.owner`` for the given metric."""
 
     def select_all(self, network, metric: Metric) -> Dict[NodeId, SelectionResult]:
-        """Run the selection at every node of a network (convenience for experiments)."""
-        results: Dict[NodeId, SelectionResult] = {}
-        for node in network.nodes():
-            view = LocalView.from_network(network, node)
-            results[node] = self.select(view, metric)
-        return results
+        """Run the selection at every node of a network (convenience for experiments).
+
+        Views are built in one batched adjacency pass rather than node by node.
+        """
+        views = LocalView.all_from_network(network)
+        return {node: self.select(view, metric) for node, view in views.items()}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(name={self.name!r})"

@@ -10,13 +10,26 @@ with density while QOLSR's keeps growing.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.config import SweepConfig
 from repro.experiments.results import ExperimentResult, SeriesPoint
-from repro.experiments.runner import build_trial
+from repro.experiments.runner import Trial, map_trials
 from repro.experiments.stats import summarize
 from repro.metrics import Metric
+
+
+def _ans_size_trial(trial: Trial) -> dict:
+    """Per-trial measurement: advertised-set sizes per selector (runs in a worker under the
+    parallel path, so it must return plain picklable data)."""
+    if len(trial.network) == 0:
+        return {"node_count": 0, "sizes": {}}
+    sampled = set(trial.sample_nodes(trial.config.node_sample, "ans-size-sample"))
+    sizes: Dict[str, List[float]] = {}
+    for selector_name in trial.config.selectors:
+        selections = _selections_for_sample(trial, selector_name, sampled)
+        sizes[selector_name] = [float(len(selection.selected)) for selection in selections]
+    return {"node_count": len(trial.network), "sizes": sizes}
 
 
 def run_ans_size_experiment(
@@ -25,11 +38,14 @@ def run_ans_size_experiment(
     experiment_id: str = "fig6",
     title: str = "Size of the advertised set",
     progress: Optional[callable] = None,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
     """Run the advertised-set-size sweep and return one series per selector.
 
     ``progress`` (if given) is called with a short human-readable string after each trial;
-    the CLI uses it to show sweep progress.
+    the CLI uses it to show sweep progress.  ``workers`` (default: the ``REPRO_WORKERS``
+    environment variable) fans the trials of each density out over worker processes; the
+    results are aggregated in run order either way, so the output is identical.
     """
     result = ExperimentResult(
         experiment_id=experiment_id,
@@ -43,20 +59,20 @@ def run_ans_size_experiment(
     }
 
     for density in config.densities:
-        for run_index in range(config.runs):
-            trial = build_trial(config, metric, density, run_index)
-            if len(trial.network) == 0:
-                continue
-            sampled = set(trial.sample_nodes(config.node_sample, "ans-size-sample"))
-            for selector_name in config.selectors:
-                selections = _selections_for_sample(trial, selector_name, sampled)
-                sizes = [float(len(selection.selected)) for selection in selections]
-                per_selector_sizes[selector_name][density].extend(sizes)
-            if progress is not None:
+
+        def on_result(run_index: int, payload: dict) -> None:
+            if progress is not None and payload["node_count"] > 0:
                 progress(
                     f"[{experiment_id}] density={density:g} run={run_index + 1}/{config.runs} "
-                    f"nodes={len(trial.network)}"
+                    f"nodes={payload['node_count']}"
                 )
+
+        payloads = map_trials(
+            config, metric, density, _ans_size_trial, workers=workers, on_result=on_result
+        )
+        for payload in payloads:
+            for selector_name, sizes in payload["sizes"].items():
+                per_selector_sizes[selector_name][density].extend(sizes)
 
     for selector_name in config.selectors:
         for density in config.densities:

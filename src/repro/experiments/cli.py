@@ -35,6 +35,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--runs", type=int, default=None, help="override the number of runs per density")
     parser.add_argument("--pairs", type=int, default=None, help="override source/destination pairs per run")
     parser.add_argument("--seed", type=int, default=None, help="override the root random seed")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes per sweep (0 = one per CPU; default: $REPRO_WORKERS or serial); "
+        "results are identical to a serial run",
+    )
     parser.add_argument("--output", default=None, help="write the text report to this file")
     parser.add_argument("--json", dest="json_output", default=None, help="write results as JSON to this file")
     parser.add_argument("--quiet", action="store_true", help="do not print per-run progress")
@@ -62,7 +69,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     for number in figure_numbers:
         metric_name = "bandwidth" if number in (6, 8) else "delay"
         config = _config_for(args, metric_name)
-        results[number] = run_figure(number, config, progress=progress)
+        results[number] = run_figure(number, config, progress=progress, workers=args.workers)
 
     report = render_report(results, header=f"profile={args.profile}")
     print(report)

@@ -34,7 +34,7 @@ def _resolve(config: ConfigLike, metric_name: str) -> SweepConfig:
     return config_for_profile(profile, metric_name)
 
 
-def figure6(config: ConfigLike = None, progress=None) -> ExperimentResult:
+def figure6(config: ConfigLike = None, progress=None, workers=None) -> ExperimentResult:
     """Figure 6: size of the advertised set, bandwidth metric."""
     resolved = _resolve(config, "bandwidth")
     return run_ans_size_experiment(
@@ -43,10 +43,11 @@ def figure6(config: ConfigLike = None, progress=None) -> ExperimentResult:
         experiment_id="fig6",
         title="Size of the set advertised in TC messages (bandwidth)",
         progress=progress,
+        workers=workers,
     )
 
 
-def figure7(config: ConfigLike = None, progress=None) -> ExperimentResult:
+def figure7(config: ConfigLike = None, progress=None, workers=None) -> ExperimentResult:
     """Figure 7: size of the advertised set, delay metric."""
     resolved = _resolve(config, "delay")
     return run_ans_size_experiment(
@@ -55,10 +56,11 @@ def figure7(config: ConfigLike = None, progress=None) -> ExperimentResult:
         experiment_id="fig7",
         title="Size of the set advertised in TC messages (delay)",
         progress=progress,
+        workers=workers,
     )
 
 
-def figure8(config: ConfigLike = None, progress=None) -> ExperimentResult:
+def figure8(config: ConfigLike = None, progress=None, workers=None) -> ExperimentResult:
     """Figure 8: bandwidth overhead compared to the centralized optimal paths."""
     resolved = _resolve(config, "bandwidth")
     return run_overhead_experiment(
@@ -67,10 +69,11 @@ def figure8(config: ConfigLike = None, progress=None) -> ExperimentResult:
         experiment_id="fig8",
         title="Bandwidth overhead vs centralized optimum",
         progress=progress,
+        workers=workers,
     )
 
 
-def figure9(config: ConfigLike = None, progress=None) -> ExperimentResult:
+def figure9(config: ConfigLike = None, progress=None, workers=None) -> ExperimentResult:
     """Figure 9: delay overhead compared to the centralized optimal paths."""
     resolved = _resolve(config, "delay")
     return run_overhead_experiment(
@@ -79,6 +82,7 @@ def figure9(config: ConfigLike = None, progress=None) -> ExperimentResult:
         experiment_id="fig9",
         title="Delay overhead vs centralized optimum",
         progress=progress,
+        workers=workers,
     )
 
 
@@ -86,15 +90,22 @@ def figure9(config: ConfigLike = None, progress=None) -> ExperimentResult:
 FIGURES = {6: figure6, 7: figure7, 8: figure8, 9: figure9}
 
 
-def run_figure(number: int, config: ConfigLike = None, progress=None) -> ExperimentResult:
-    """Run the harness for one figure by number (6, 7, 8 or 9)."""
+def run_figure(number: int, config: ConfigLike = None, progress=None, workers=None) -> ExperimentResult:
+    """Run the harness for one figure by number (6, 7, 8 or 9).
+
+    ``workers`` (default: the ``REPRO_WORKERS`` environment variable) parallelizes the
+    sweep's trials across processes without changing the results.
+    """
     try:
         harness = FIGURES[number]
     except KeyError as exc:
         raise KeyError(f"the paper has no result figure {number}; choose one of {sorted(FIGURES)}") from exc
-    return harness(config, progress=progress)
+    return harness(config, progress=progress, workers=workers)
 
 
-def run_all_figures(config: ConfigLike = None, progress=None) -> Dict[int, ExperimentResult]:
+def run_all_figures(config: ConfigLike = None, progress=None, workers=None) -> Dict[int, ExperimentResult]:
     """Run every figure harness and return the results keyed by figure number."""
-    return {number: run_figure(number, config, progress=progress) for number in sorted(FIGURES)}
+    return {
+        number: run_figure(number, config, progress=progress, workers=workers)
+        for number in sorted(FIGURES)
+    }

@@ -15,11 +15,11 @@ default FNBP guard none are expected.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.experiments.config import SweepConfig
 from repro.experiments.results import ExperimentResult, SeriesPoint
-from repro.experiments.runner import build_trial
+from repro.experiments.runner import Trial, map_trials
 from repro.experiments.stats import summarize
 from repro.metrics import Metric, MetricKind
 from repro.routing.hop_by_hop import HopByHopRouter
@@ -35,14 +35,53 @@ def qos_overhead(metric: Metric, achieved: float, optimal: float) -> float:
     return (achieved - optimal) / optimal
 
 
+def _overhead_trial(trial: Trial) -> dict:
+    """Per-trial measurement: overheads and delivery flags per selector (worker-safe).
+
+    The centralized optimum of each pair is computed once and shared by all selectors (it
+    depends only on the topology), exactly as comparing "on the same topology with the same
+    source and destination" requires.
+    """
+    metric = trial.metric
+    if len(trial.network) < 2:
+        return {"node_count": len(trial.network), "per_selector": {}}
+    pairs = trial.sample_pairs(trial.config.pairs_per_run)
+    routed_pairs = []
+    for source, destination in pairs:
+        optimal = optimal_route(trial.network, source, destination, metric)
+        if not optimal.reachable or not metric.is_usable(optimal.value):
+            continue
+        routed_pairs.append((source, destination, optimal.value))
+
+    per_selector: Dict[str, Tuple[List[float], List[float]]] = {}
+    for selector_name in trial.config.selectors:
+        advertised = trial.advertised_topology(selector_name)
+        router = HopByHopRouter(trial.network, advertised, metric)
+        overheads: List[float] = []
+        deliveries: List[float] = []
+        for source, destination, optimal_value in routed_pairs:
+            outcome = router.link_state_route(source, destination)
+            deliveries.append(1.0 if outcome.delivered else 0.0)
+            if outcome.delivered:
+                overheads.append(qos_overhead(metric, outcome.value, optimal_value))
+        per_selector[selector_name] = (overheads, deliveries)
+    return {"node_count": len(trial.network), "per_selector": per_selector}
+
+
 def run_overhead_experiment(
     config: SweepConfig,
     metric: Metric,
     experiment_id: str = "fig8",
     title: str = "QoS overhead vs the centralized optimum",
     progress: Optional[callable] = None,
+    workers: Optional[int] = None,
 ) -> ExperimentResult:
-    """Run the overhead sweep and return one series per selector."""
+    """Run the overhead sweep and return one series per selector.
+
+    ``workers`` (default: the ``REPRO_WORKERS`` environment variable) fans the trials of
+    each density out over worker processes; aggregation happens in run order either way, so
+    the output is identical to a serial run.
+    """
     result = ExperimentResult(
         experiment_id=experiment_id,
         title=title,
@@ -58,29 +97,21 @@ def run_overhead_experiment(
     }
 
     for density in config.densities:
-        for run_index in range(config.runs):
-            trial = build_trial(config, metric, density, run_index)
-            if len(trial.network) < 2:
-                continue
-            pairs = trial.sample_pairs(config.pairs_per_run)
-            for selector_name in config.selectors:
-                advertised = trial.advertised_topology(selector_name)
-                router = HopByHopRouter(trial.network, advertised, metric)
-                for source, destination in pairs:
-                    optimal = optimal_route(trial.network, source, destination, metric)
-                    if not optimal.reachable or not metric.is_usable(optimal.value):
-                        continue
-                    outcome = router.link_state_route(source, destination)
-                    deliveries[selector_name][density].append(1.0 if outcome.delivered else 0.0)
-                    if outcome.delivered:
-                        overheads[selector_name][density].append(
-                            qos_overhead(metric, outcome.value, optimal.value)
-                        )
-            if progress is not None:
+
+        def on_result(run_index: int, payload: dict) -> None:
+            if progress is not None and payload["node_count"] >= 2:
                 progress(
                     f"[{experiment_id}] density={density:g} run={run_index + 1}/{config.runs} "
-                    f"nodes={len(trial.network)}"
+                    f"nodes={payload['node_count']}"
                 )
+
+        payloads = map_trials(
+            config, metric, density, _overhead_trial, workers=workers, on_result=on_result
+        )
+        for payload in payloads:
+            for selector_name, (trial_overheads, trial_deliveries) in payload["per_selector"].items():
+                overheads[selector_name][density].extend(trial_overheads)
+                deliveries[selector_name][density].extend(trial_deliveries)
 
     for selector_name in config.selectors:
         for density in config.densities:

@@ -5,12 +5,20 @@ weights.  The runner builds the topology exactly as the paper describes (Poisson
 uniform weights), constructs every node's local view once, and runs each selector on those
 shared views, so that the algorithms are compared on strictly identical inputs (the paper:
 "Each approach is run on the same topology with the same source and destination").
+
+Because every trial is derived deterministically from ``(config, metric, density,
+run_index)``, trials are embarrassingly parallel: :func:`map_trials` optionally fans them
+out over a multiprocessing pool (``workers=`` argument or the ``REPRO_WORKERS`` environment
+variable) and re-assembles the per-trial results in run order, so a parallel sweep
+aggregates bit-identically to a serial one.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.selection import AnsSelector, SelectionResult, make_selector
 from repro.experiments.config import SweepConfig
@@ -39,11 +47,10 @@ class Trial:
     # ------------------------------------------------------------------ views
 
     def views(self) -> Dict[NodeId, LocalView]:
-        """Every node's local view (built once, shared by all selectors)."""
+        """Every node's local view (built once in a single adjacency pass, shared by all
+        selectors)."""
         if self._views is None:
-            self._views = {
-                node: LocalView.from_network(self.network, node) for node in self.network.nodes()
-            }
+            self._views = LocalView.all_from_network(self.network)
         return self._views
 
     # ------------------------------------------------------------------ selections
@@ -123,3 +130,71 @@ def iter_trials(config: SweepConfig, metric: Metric, density: float) -> Iterable
     """All trials of one density, in run order."""
     for run_index in range(config.runs):
         yield build_trial(config, metric, density, run_index)
+
+
+# ---------------------------------------------------------------------- parallel execution
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Number of worker processes to use for a sweep.
+
+    ``workers=None`` falls back to the ``REPRO_WORKERS`` environment variable; an unset or
+    empty variable means serial execution.  ``0`` (argument or variable) means "one worker
+    per CPU".  The result is always at least 1.
+    """
+    if workers is None:
+        raw = os.environ.get("REPRO_WORKERS", "").strip()
+        if not raw:
+            return 1
+        try:
+            workers = int(raw)
+        except ValueError as exc:
+            raise ValueError(f"REPRO_WORKERS must be an integer, got {raw!r}") from exc
+    if workers == 0:
+        workers = os.cpu_count() or 1
+    return max(1, workers)
+
+
+def _trial_job(job: Tuple[SweepConfig, Metric, float, int, Callable]) -> object:
+    """Build one trial in the worker process and apply the per-trial function to it."""
+    config, metric, density, run_index, per_trial = job
+    return per_trial(build_trial(config, metric, density, run_index))
+
+
+def map_trials(
+    config: SweepConfig,
+    metric: Metric,
+    density: float,
+    per_trial: Callable[[Trial], object],
+    workers: Optional[int] = None,
+    on_result: Optional[Callable[[int, object], None]] = None,
+) -> List[object]:
+    """Apply ``per_trial`` to every trial of one density and return the results in run order.
+
+    ``per_trial`` must be a picklable module-level callable returning picklable data.  With
+    ``workers > 1`` the trials are *built and processed* inside worker processes (each trial
+    is derived deterministically from its run index, so nothing needs to be shipped besides
+    the configuration); results still arrive in run order, which is what guarantees that
+    parallel sweeps aggregate bit-identically to serial ones.  ``on_result`` is invoked in
+    the parent process, in run order, as each result becomes available (the CLI uses it for
+    progress reporting).
+    """
+    workers = resolve_workers(workers)
+    results: List[object] = []
+    if workers == 1 or config.runs <= 1:
+        for run_index in range(config.runs):
+            result = per_trial(build_trial(config, metric, density, run_index))
+            if on_result is not None:
+                on_result(run_index, result)
+            results.append(result)
+        return results
+
+    jobs = [
+        (config, metric, density, run_index, per_trial) for run_index in range(config.runs)
+    ]
+    with multiprocessing.Pool(processes=min(workers, config.runs)) as pool:
+        for run_index, result in enumerate(pool.imap(_trial_job, jobs, chunksize=1)):
+            if on_result is not None:
+                on_result(run_index, result)
+            results.append(result)
+    return results

@@ -1,5 +1,6 @@
 """Local-view machinery: ``G_u``, best-path solving and first-hop-on-best-path sets."""
 
+from repro.localview.compactgraph import CompactGraph
 from repro.localview.paths import (
     FirstHopResult,
     all_first_hops,
@@ -14,6 +15,7 @@ from repro.localview.view import LocalView
 
 __all__ = [
     "LocalView",
+    "CompactGraph",
     "FirstHopResult",
     "first_hops_to",
     "all_first_hops",

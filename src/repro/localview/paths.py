@@ -17,24 +17,40 @@ link ``(u, w)`` has value ``combine(weight(u, w), best(w → v in G \\ {u}))``. 
 is what enforces simplicity at the first hop; for both metric families the best simple path
 value equals the best walk value (weights are non-negative / composition is monotone), so the
 inner computation can use the label-setting solver.
+
+Hot paths run on :class:`~repro.localview.compactgraph.CompactGraph` -- a flat-adjacency
+snapshot with the metric's link values extracted once and cached per metric on the view --
+instead of traversing networkx's dict-of-dicts on every relaxation.  The public functions
+keep their networkx-accepting signatures and adapt internally; the original networkx
+implementations survive as ``_*_nx`` module privates so the benchmark recorder
+(``benchmarks/record.py``) and the cross-validation tests can measure and check the compact
+core against them.
 """
 
 from __future__ import annotations
 
 import heapq
+import math
 from collections import deque
-from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
-from repro.metrics.base import Metric, MetricKind
+from repro.localview.compactgraph import (
+    CompactGraph,
+    best_values,
+    combine_and_equality,
+    specialized_kind,
+)
 from repro.localview.view import LocalView
+from repro.metrics.base import Metric, MetricKind
 from repro.utils.ids import NodeId
+
+from dataclasses import dataclass
 
 
 def best_values_from(
-    graph: nx.Graph,
+    graph: nx.Graph | CompactGraph,
     source: NodeId,
     metric: Metric,
     excluded: Iterable[NodeId] = (),
@@ -43,27 +59,29 @@ def best_values_from(
 
     ``excluded`` nodes are treated as absent (neither traversed nor reported).  The source
     itself is reported with the metric's identity value.  Unreachable nodes are simply not in
-    the returned mapping.
+    the returned mapping.  ``graph`` may be a :class:`networkx.Graph` (flattened on the fly;
+    graphs with edges missing the metric's attribute fall back to the lazy networkx
+    traversal, which only raises for edges the search actually reaches) or an already-built
+    :class:`CompactGraph` for the same metric.
     """
-    excluded_set = set(excluded)
-    if source in excluded_set or source not in graph:
+    if isinstance(graph, CompactGraph):
+        cg = graph
+    else:
+        if source not in graph:
+            return {}
+        cg = CompactGraph.try_from_networkx(graph, metric)
+        if cg is None:
+            return _best_values_from_nx(graph, source, metric, excluded)
+    index = cg.index
+    source_idx = index.get(source)
+    if source_idx is None:
         return {}
-    best: Dict[NodeId, float] = {}
-    counter = 0  # tie-breaker so heap entries never compare nodes of different types
-    heap: List[Tuple[object, int, NodeId, float]] = [(metric.sort_key(metric.identity), counter, source, metric.identity)]
-    while heap:
-        _, __, node, value = heapq.heappop(heap)
-        if node in best:
-            continue
-        best[node] = value
-        for neighbor in graph.neighbors(node):
-            if neighbor in best or neighbor in excluded_set:
-                continue
-            link_value = metric.link_value_from_attributes(graph.edges[node, neighbor])
-            candidate = metric.combine(value, link_value)
-            counter += 1
-            heapq.heappush(heap, (metric.sort_key(candidate), counter, neighbor, candidate))
-    return best
+    blocked = [index[node] for node in excluded if node in index]
+    if source_idx in blocked:
+        return {}
+    values = best_values(cg, source_idx, metric, blocked)
+    nodes = cg.nodes
+    return {nodes[i]: value for i, value in values.items()}
 
 
 def best_value_between(
@@ -113,6 +131,18 @@ class FirstHopResult:
         return self.target in self.first_hops
 
 
+def _one_hop_rows(view: LocalView, cg: CompactGraph) -> List[Tuple[NodeId, int, float]]:
+    """``(neighbor, neighbor_index, direct_link_value)`` for every one-hop neighbor.
+
+    Iterates ``view.one_hop`` (not the owner's adjacency row) so that views whose declared
+    one-hop set is a strict subset of the owner's graph neighbors keep their historical
+    behaviour.
+    """
+    owner_row = dict(cg.adj[cg.index[view.owner]])
+    index = cg.index
+    return [(neighbor, index[neighbor], owner_row[index[neighbor]]) for neighbor in view.one_hop]
+
+
 def first_hops_to(view: LocalView, target: NodeId, metric: Metric) -> FirstHopResult:
     """Compute ``fP(u, target)`` -- the first nodes of all QoS-optimal paths in ``G_u``.
 
@@ -125,22 +155,24 @@ def first_hops_to(view: LocalView, target: NodeId, metric: Metric) -> FirstHopRe
     if target not in view.graph:
         return FirstHopResult(target=target, best_value=metric.worst, first_hops=frozenset())
 
+    cg = view.compact_graph(metric)
+    combine, values_equal = combine_and_equality(metric)
+    identity = metric.identity
+
     # Best values from the target towards every node, with the owner removed.  Computing from
     # the target side gives, for every neighbor w of the owner, the best value of a
     # (owner-free) path w → target in one solver run instead of one run per neighbor.
-    from_target = best_values_from(view.graph, target, metric, excluded=(owner,))
+    from_target = best_values(cg, cg.index[target], metric, blocked=(cg.index[owner],))
 
     candidate_values: Dict[NodeId, float] = {}
-    for neighbor in view.one_hop:
-        link_value = view.direct_link_value(neighbor, metric)
+    for neighbor, neighbor_idx, link_value in _one_hop_rows(view, cg):
         if neighbor == target:
-            remainder = metric.identity
-        elif neighbor in from_target:
-            remainder = from_target[neighbor]
+            remainder = identity
+        elif neighbor_idx in from_target:
+            remainder = from_target[neighbor_idx]
         else:
             continue  # target unreachable from this neighbor without going through the owner
-        path_start = metric.combine(metric.identity, link_value)
-        candidate_values[neighbor] = metric.combine(path_start, remainder)
+        candidate_values[neighbor] = combine(combine(identity, link_value), remainder)
 
     if not candidate_values:
         return FirstHopResult(target=target, best_value=metric.worst, first_hops=frozenset())
@@ -149,7 +181,7 @@ def first_hops_to(view: LocalView, target: NodeId, metric: Metric) -> FirstHopRe
     first_hops = frozenset(
         neighbor
         for neighbor, value in candidate_values.items()
-        if metric.values_equal(value, best_value)
+        if values_equal(value, best_value)
     )
     return FirstHopResult(target=target, best_value=best_value, first_hops=first_hops)
 
@@ -211,10 +243,335 @@ def _all_first_hops_owner_dijkstra(view: LocalView, metric: Metric) -> Dict[Node
     links until a fixpoint captures precisely those paths.  (This argument fails for concave
     metrics -- an optimal bottleneck path may have suboptimal prefixes -- which is why those
     use :func:`_all_first_hops_bottleneck_forest` instead.)
+
+    First-hop sets are carried as bitmasks over the one-hop neighbors, so the fixpoint
+    iteration works on integer or-operations instead of set unions; for the stock additive
+    metrics the tight-link test is inlined float arithmetic (see
+    :func:`~repro.localview.compactgraph.float_values_equal` for why ``== or isclose`` is
+    exact).
     """
+    cg = view.compact_graph(metric)
+    adj = cg.adj
+    owner_idx = cg.index[view.owner]
+    one_hop_rows = _one_hop_rows(view, cg)
+    distances = best_values(cg, owner_idx, metric)
+
+    # Distances as a flat list; the owner's slot is cleared so the propagation loop can
+    # treat "owner" and "unreachable" uniformly as None.
+    dist: List[Optional[float]] = [None] * len(adj)
+    for node_idx, value in distances.items():
+        dist[node_idx] = value
+    owner_distance = dist[owner_idx]
+    dist[owner_idx] = None
+
+    masks = [0] * len(adj)
+    worklist = deque()
+
+    if specialized_kind(metric) == "additive":
+        # Tolerant equality inlined as float arithmetic: for non-negative finite values,
+        # math.isclose(a, b, rel_tol=r, abs_tol=r) is |a-b| <= max(r*max(a, b), r).
+        rel_tol = metric.rel_tol
+        for bit, (_, neighbor_idx, link_value) in enumerate(one_hop_rows):
+            target_value = dist[neighbor_idx]
+            if target_value is None:
+                continue
+            diff = link_value - target_value
+            if diff < 0.0:
+                diff = -diff
+            larger = link_value if link_value > target_value else target_value
+            if diff <= rel_tol * larger or diff <= rel_tol:
+                masks[neighbor_idx] |= 1 << bit
+                worklist.append(neighbor_idx)
+        while worklist:
+            node = worklist.popleft()
+            node_value = dist[node]
+            node_mask = masks[node]
+            for successor, link_value in adj[node]:
+                successor_value = dist[successor]
+                if successor_value is None:
+                    continue
+                # candidate >= successor_value (label-setting optimality), so the tolerant
+                # equality reduces to a one-sided slack test.
+                diff = node_value + link_value - successor_value
+                if diff > rel_tol and diff > rel_tol * (node_value + link_value):
+                    continue
+                merged = masks[successor] | node_mask
+                if merged != masks[successor]:
+                    masks[successor] = merged
+                    worklist.append(successor)
+    else:
+        combine, values_equal = combine_and_equality(metric)
+        identity = metric.identity
+        for bit, (_, neighbor_idx, link_value) in enumerate(one_hop_rows):
+            if dist[neighbor_idx] is None:
+                continue
+            if values_equal(combine(identity, link_value), dist[neighbor_idx]):
+                masks[neighbor_idx] |= 1 << bit
+                worklist.append(neighbor_idx)
+        while worklist:
+            node = worklist.popleft()
+            node_value = dist[node]
+            node_mask = masks[node]
+            for successor, link_value in adj[node]:
+                if dist[successor] is None:
+                    continue
+                if not values_equal(combine(node_value, link_value), dist[successor]):
+                    continue
+                merged = masks[successor] | node_mask
+                if merged != masks[successor]:
+                    masks[successor] = merged
+                    worklist.append(successor)
+
+    dist[owner_idx] = owner_distance
+    bit_owner: List[NodeId] = [neighbor for neighbor, _, __ in one_hop_rows]
+    decoded: Dict[int, FrozenSet[NodeId]] = {}  # masks repeat heavily across targets
+    results: Dict[NodeId, FirstHopResult] = {}
+    index = cg.index
+    worst = metric.worst
+    for target in view.known_targets():
+        target_idx = index.get(target)
+        mask = masks[target_idx] if target_idx is not None else 0
+        if mask and dist[target_idx] is not None:
+            first_hops = decoded.get(mask)
+            if first_hops is None:
+                first_hops = frozenset(
+                    neighbor for bit, neighbor in enumerate(bit_owner) if mask >> bit & 1
+                )
+                decoded[mask] = first_hops
+            results[target] = FirstHopResult(
+                target=target,
+                best_value=dist[target_idx],
+                first_hops=first_hops,
+            )
+        else:
+            results[target] = FirstHopResult(
+                target=target, best_value=worst, first_hops=frozenset()
+            )
+    return results
+
+
+def _all_first_hops_bottleneck_forest(view: LocalView, metric: Metric) -> Dict[NodeId, FirstHopResult]:
+    """Every first-hop set for a concave (bottleneck) metric, via a maximum spanning forest.
+
+    For bottleneck metrics the best value between two nodes of a graph equals the bottleneck
+    along their path in any maximum(-bottleneck) spanning forest.  So: build one spanning
+    forest of the owner-free view with Kruskal over edges sorted best-first, then walk the
+    forest once *per one-hop neighbor* (bottleneck values are symmetric, and a node has
+    fewer one-hop neighbors than known targets) to obtain ``best(n → target in G \\ {u})``
+    for every target, and combine with the owner's direct links exactly as in
+    :func:`first_hops_to`.  For the stock concave metrics the inner loops inline ``min``
+    and the tolerant equality (see
+    :func:`~repro.localview.compactgraph.float_values_equal`).
+    """
+    cg = view.compact_graph(metric)
+    owner_idx = cg.index[view.owner]
+    node_count = len(cg.adj)
+    worst = metric.worst
+    if node_count <= 1:
+        return {
+            target: FirstHopResult(target=target, best_value=worst, first_hops=frozenset())
+            for target in view.known_targets()
+        }
+
+    forest = _forest_without_owner(cg, owner_idx, metric)
+    one_hop_rows = _one_hop_rows(view, cg)
+    plain = specialized_kind(metric) == "concave"
+    identity = metric.identity
+    combine, values_equal = combine_and_equality(metric)
+
+    # Bottleneck from each one-hop neighbor to every node of its forest component (the
+    # DFS is rooted at the neighbors, not the targets: same forest paths either way).
+    reach: List[Tuple[NodeId, int, float, List[object]]] = []
+    for neighbor, neighbor_idx, direct in one_hop_rows:
+        bottleneck: List[object] = [None] * node_count
+        bottleneck[neighbor_idx] = identity
+        stack = [neighbor_idx]
+        if plain:
+            while stack:
+                node = stack.pop()
+                node_value = bottleneck[node]
+                for successor, link_value in forest[node]:
+                    if bottleneck[successor] is None:
+                        bottleneck[successor] = (
+                            link_value if link_value < node_value else node_value
+                        )
+                        stack.append(successor)
+        else:
+            while stack:
+                node = stack.pop()
+                node_value = bottleneck[node]
+                for successor, link_value in forest[node]:
+                    if bottleneck[successor] is None:
+                        bottleneck[successor] = combine(node_value, link_value)
+                        stack.append(successor)
+        reach.append((neighbor, neighbor_idx, direct, bottleneck))
+
+    results: Dict[NodeId, FirstHopResult] = {}
+    index = cg.index
+    rel_tol = metric.rel_tol
+    isclose = math.isclose
+    unreachable = FirstHopResult  # local alias keeps the loop body short
+    for target in view.known_targets():
+        target_idx = index.get(target)
+        if target_idx is None:
+            results[target] = unreachable(target=target, best_value=worst, first_hops=frozenset())
+            continue
+
+        hops: List[NodeId] = []
+        values: List[float] = []
+        if plain:
+            for neighbor, neighbor_idx, direct, bottleneck in reach:
+                if neighbor_idx == target_idx:
+                    hops.append(neighbor)
+                    values.append(direct)
+                    continue
+                remainder = bottleneck[target_idx]
+                if remainder is None:
+                    continue
+                hops.append(neighbor)
+                values.append(direct if direct < remainder else remainder)
+        else:
+            for neighbor, neighbor_idx, direct, bottleneck in reach:
+                start = combine(identity, direct)
+                if neighbor_idx == target_idx:
+                    hops.append(neighbor)
+                    values.append(start)
+                    continue
+                remainder = bottleneck[target_idx]
+                if remainder is None:
+                    continue
+                hops.append(neighbor)
+                values.append(combine(start, remainder))
+
+        if not hops:
+            results[target] = unreachable(target=target, best_value=worst, first_hops=frozenset())
+            continue
+        best_value = metric.optimum(values)
+        if plain:
+            first_hops = frozenset(
+                neighbor
+                for neighbor, value in zip(hops, values)
+                if value == best_value
+                or isclose(value, best_value, rel_tol=rel_tol, abs_tol=rel_tol)
+            )
+        else:
+            first_hops = frozenset(
+                neighbor
+                for neighbor, value in zip(hops, values)
+                if values_equal(value, best_value)
+            )
+        results[target] = FirstHopResult(target=target, best_value=best_value, first_hops=first_hops)
+    return results
+
+
+def _forest_without_owner(cg: CompactGraph, owner_idx: int, metric: Metric) -> List[List[Tuple[int, float]]]:
+    """Maximum-bottleneck spanning forest of the compact view minus the owner (Kruskal)."""
+    adj = cg.adj
+    node_count = len(adj)
+    sort_key = metric.sort_key
+    edges = []
+    for a in range(node_count):
+        if a == owner_idx:
+            continue
+        for b, value in adj[a]:
+            if a < b and b != owner_idx:
+                edges.append((sort_key(value), a, b, value))
+    edges.sort()
+
+    parent = list(range(node_count))
+
+    def find(node: int) -> int:
+        root = node
+        while parent[root] != root:
+            root = parent[root]
+        while parent[node] != root:
+            parent[node], node = root, parent[node]
+        return root
+
+    forest: List[List[Tuple[int, float]]] = [[] for _ in range(node_count)]
+    for _, a, b, value in edges:
+        root_a, root_b = find(a), find(b)
+        if root_a == root_b:
+            continue
+        parent[root_a] = root_b
+        forest[a].append((b, value))
+        forest[b].append((a, value))
+    return forest
+
+
+# ---------------------------------------------------------------------- legacy networkx core
+#
+# The pre-compact-graph implementations, kept verbatim so ``benchmarks/record.py`` can
+# measure the speedup of the flat-adjacency core against them and so the property tests can
+# cross-validate the compact solvers against an independent traversal of the same graphs.
+
+
+def _best_values_from_nx(
+    graph: nx.Graph,
+    source: NodeId,
+    metric: Metric,
+    excluded: Iterable[NodeId] = (),
+) -> Dict[NodeId, float]:
+    excluded_set = set(excluded)
+    if source in excluded_set or source not in graph:
+        return {}
+    best: Dict[NodeId, float] = {}
+    counter = 0  # tie-breaker so heap entries never compare nodes of different types
+    heap: List[Tuple[object, int, NodeId, float]] = [
+        (metric.sort_key(metric.identity), counter, source, metric.identity)
+    ]
+    while heap:
+        _, __, node, value = heapq.heappop(heap)
+        if node in best:
+            continue
+        best[node] = value
+        for neighbor in graph.neighbors(node):
+            if neighbor in best or neighbor in excluded_set:
+                continue
+            link_value = metric.link_value_from_attributes(graph.edges[node, neighbor])
+            candidate = metric.combine(value, link_value)
+            counter += 1
+            heapq.heappush(heap, (metric.sort_key(candidate), counter, neighbor, candidate))
+    return best
+
+
+def _first_hops_to_nx(view: LocalView, target: NodeId, metric: Metric) -> FirstHopResult:
+    owner = view.owner
+    if target == owner:
+        raise ValueError("the owner trivially reaches itself; first hops are undefined")
+    if target not in view.graph:
+        return FirstHopResult(target=target, best_value=metric.worst, first_hops=frozenset())
+
+    from_target = _best_values_from_nx(view.graph, target, metric, excluded=(owner,))
+
+    candidate_values: Dict[NodeId, float] = {}
+    for neighbor in view.one_hop:
+        link_value = view.direct_link_value(neighbor, metric)
+        if neighbor == target:
+            remainder = metric.identity
+        elif neighbor in from_target:
+            remainder = from_target[neighbor]
+        else:
+            continue
+        path_start = metric.combine(metric.identity, link_value)
+        candidate_values[neighbor] = metric.combine(path_start, remainder)
+
+    if not candidate_values:
+        return FirstHopResult(target=target, best_value=metric.worst, first_hops=frozenset())
+
+    best_value = metric.optimum(candidate_values.values())
+    first_hops = frozenset(
+        neighbor
+        for neighbor, value in candidate_values.items()
+        if metric.values_equal(value, best_value)
+    )
+    return FirstHopResult(target=target, best_value=best_value, first_hops=first_hops)
+
+
+def _all_first_hops_owner_dijkstra_nx(view: LocalView, metric: Metric) -> Dict[NodeId, FirstHopResult]:
     owner = view.owner
     graph = view.graph
-    distances = best_values_from(graph, owner, metric)
+    distances = _best_values_from_nx(graph, owner, metric)
 
     first_hops: Dict[NodeId, set] = {node: set() for node in distances}
     worklist = deque()
@@ -258,15 +615,7 @@ def _all_first_hops_owner_dijkstra(view: LocalView, metric: Metric) -> Dict[Node
     return results
 
 
-def _all_first_hops_bottleneck_forest(view: LocalView, metric: Metric) -> Dict[NodeId, FirstHopResult]:
-    """Every first-hop set for a concave (bottleneck) metric, via a maximum spanning forest.
-
-    For bottleneck metrics the best value between two nodes of a graph equals the bottleneck
-    along their path in any maximum(-bottleneck) spanning forest.  So: build one spanning
-    forest of the owner-free view with Kruskal over edges sorted best-first, then for every
-    target walk the forest once to obtain ``best(n → target in G \\ {u})`` for every node
-    ``n``, and combine with the owner's direct links exactly as in :func:`first_hops_to`.
-    """
+def _all_first_hops_bottleneck_forest_nx(view: LocalView, metric: Metric) -> Dict[NodeId, FirstHopResult]:
     owner = view.owner
     graph = view.graph
     nodes = [node for node in graph.nodes if node != owner]
@@ -276,7 +625,6 @@ def _all_first_hops_bottleneck_forest(view: LocalView, metric: Metric) -> Dict[N
             for target in view.known_targets()
         }
 
-    # --- Kruskal: maximum-bottleneck spanning forest of the view without the owner --------
     parent: Dict[NodeId, NodeId] = {node: node for node in nodes}
 
     def find(node: NodeId) -> NodeId:
@@ -310,7 +658,6 @@ def _all_first_hops_bottleneck_forest(view: LocalView, metric: Metric) -> Dict[N
 
     results: Dict[NodeId, FirstHopResult] = {}
     for target in view.known_targets():
-        # Bottleneck value from the target to every node of its forest component.
         bottleneck: Dict[NodeId, float] = {target: metric.identity}
         stack = [target]
         while stack:
@@ -348,6 +695,9 @@ def _all_first_hops_bottleneck_forest(view: LocalView, metric: Metric) -> Dict[N
     return results
 
 
+# ---------------------------------------------------------------------- enumeration
+
+
 def enumerate_best_paths(
     graph: nx.Graph,
     source: NodeId,
@@ -378,9 +728,6 @@ def enumerate_best_paths(
                 if len(results) > max_paths:
                     raise RuntimeError(f"more than {max_paths} optimal paths between {source} and {target}")
             return
-        # Prune: extending can never improve the value, so stop once we are already worse.
-        if metric.is_better(best_value, value) and not metric.values_equal(value, best_value):
-            pass  # still potentially optimal only if value == best; handled below
         for neighbor in graph.neighbors(node):
             if neighbor in path:
                 continue

@@ -10,6 +10,12 @@ the paper's Figure 2 illustrates with the invisible link ``(v8, v9)``).
 :class:`LocalView` is that object.  Every selection algorithm in the library (FNBP and all
 baselines) takes a :class:`LocalView` as input, which keeps them honest: they can only use
 information a real OLSR node would have.
+
+Views are immutable once built: the selection machinery caches one
+:class:`~repro.localview.compactgraph.CompactGraph` per metric on the view
+(:meth:`LocalView.compact_graph`), and the batch constructor
+(:meth:`LocalView.all_from_network`) shares link-attribute dictionaries between sibling
+views, so callers must treat ``view.graph`` and its edge data as read-only.
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
 
 import networkx as nx
 
+from repro.localview.compactgraph import CompactGraph
 from repro.metrics.base import Metric
 from repro.utils.ids import NodeId
 
@@ -36,6 +43,7 @@ class LocalView:
         self.one_hop: FrozenSet[NodeId] = frozenset(one_hop)
         self.two_hop: FrozenSet[NodeId] = frozenset(two_hop)
         self.graph = graph
+        self._compact: Dict[object, CompactGraph] = {}
         self._validate()
 
     # ------------------------------------------------------------------ construction
@@ -49,16 +57,56 @@ class LocalView:
         """
         if owner not in network:
             raise KeyError(f"node {owner} is not part of the network")
-        one_hop = network.neighbors(owner)
-        two_hop = network.two_hop_neighbors(owner)
-        known_nodes = {owner} | one_hop | two_hop
+        return cls._from_adjacency(network.graph.adj, owner, {})
+
+    @classmethod
+    def all_from_network(cls, network) -> Dict[NodeId, "LocalView"]:
+        """Build every node's local view in one pass over the network's adjacency.
+
+        Equivalent to ``{node: LocalView.from_network(network, node) for node in network}``
+        but substantially cheaper: the network adjacency is walked once, and each physical
+        link's attribute dictionary is copied once and *shared* between all the views that
+        see the link (every view of a link's endpoint neighborhood would otherwise take its
+        own copy).  The shared dictionaries are never mutated by the library; treat them as
+        read-only.
+        """
+        adjacency = network.graph.adj
+        shared: Dict[int, dict] = {}
+        return {
+            owner: cls._from_adjacency(adjacency, owner, shared) for owner in network.nodes()
+        }
+
+    @classmethod
+    def _from_adjacency(cls, adjacency, owner: NodeId, shared: Dict[int, dict]) -> "LocalView":
+        """Build one view directly from a networkx adjacency mapping.
+
+        ``shared`` caches attribute-dict copies by the identity of the source dict so a
+        batch of views copies each physical link's attributes only once.
+        """
+        owner_row = adjacency[owner]
+        one_hop = frozenset(owner_row)
+        two_hop: Set[NodeId] = set()
+        for neighbor in one_hop:
+            two_hop.update(adjacency[neighbor])
+        two_hop.discard(owner)
+        two_hop -= one_hop
 
         graph = nx.Graph()
-        graph.add_nodes_from(known_nodes)
+        graph.add_node(owner)
+        graph.add_nodes_from(one_hop)
+        graph.add_nodes_from(two_hop)
+        graph_adjacency = graph._adj
         for neighbor in one_hop:
-            for other in network.neighbors(neighbor):
-                if other in known_nodes:
-                    graph.add_edge(neighbor, other, **network.link_attributes(neighbor, other))
+            row = graph_adjacency[neighbor]
+            for other, data in adjacency[neighbor].items():
+                # Every neighbor of a one-hop node is the owner, one-hop or two-hop, so the
+                # whole row is visible; copy the link attributes once per physical link.
+                copied = shared.get(id(data))
+                if copied is None:
+                    copied = dict(data)
+                    shared[id(data)] = copied
+                row[other] = copied
+                graph_adjacency[other][neighbor] = copied
         return cls(owner=owner, one_hop=one_hop, two_hop=two_hop, graph=graph)
 
     @classmethod
@@ -102,6 +150,20 @@ class LocalView:
     def known_targets(self) -> list[NodeId]:
         """The owner's one- and two-hop neighbors, sorted (the targets ANS selection covers)."""
         return sorted(self.one_hop | self.two_hop)
+
+    def compact_graph(self, metric: Metric) -> CompactGraph:
+        """The flat-adjacency snapshot of the view under ``metric`` (built once, cached).
+
+        Caching is sound because views are immutable once constructed; the cache key is
+        :meth:`Metric.cache_token`, which identifies the metric's link-value extraction
+        rule (not just its display name).
+        """
+        token = metric.cache_token()
+        compact = self._compact.get(token)
+        if compact is None:
+            compact = CompactGraph.from_networkx(self.graph, metric)
+            self._compact[token] = compact
+        return compact
 
     def has_link(self, u: NodeId, v: NodeId) -> bool:
         """True when the owner knows about a link between ``u`` and ``v``."""

@@ -126,6 +126,17 @@ class Metric(ABC):
 
     # ------------------------------------------------------------------ edge-attribute access
 
+    def cache_token(self) -> object:
+        """Hashable token identifying this metric's link-value *extraction rule*.
+
+        Per-view compact-graph caches key on this: two metrics with equal tokens must
+        extract identical link values from any edge-attribute mapping.  The default --
+        the concrete class plus the attribute name it reads -- is correct for every
+        single-attribute metric; metrics whose extraction depends on more state (e.g.
+        composites) must override it accordingly.
+        """
+        return (type(self), self.name)
+
     def link_value_from_attributes(self, attributes: dict) -> float:
         """Extract this metric's link value from an edge-attribute mapping.
 

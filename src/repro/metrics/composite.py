@@ -88,6 +88,11 @@ class LexicographicMetric(Metric):
 
     # ------------------------------------------------------------------ edge access
 
+    def cache_token(self) -> object:
+        # Extraction is determined by the criteria (type, order and their own rules), not
+        # by the display name, which callers may override freely.
+        return (type(self), tuple(metric.cache_token() for metric in self.criteria))
+
     def link_value_from_attributes(self, attributes: dict) -> tuple:  # type: ignore[override]
         return tuple(metric.link_value_from_attributes(attributes) for metric in self.criteria)
 

@@ -14,6 +14,7 @@ from typing import Dict, Optional
 
 import networkx as nx
 
+from repro.localview.compactgraph import CompactGraph
 from repro.localview.paths import best_values_from
 from repro.metrics.base import Metric
 from repro.metrics.ordering import preferred_neighbor
@@ -52,8 +53,13 @@ class RoutingTable:
         if not destinations:
             return
 
+        # One flat snapshot serves every per-destination solve (excluded nodes are handled
+        # at solver level); heterogeneous tables whose merged links miss the metric's
+        # attribute fall back to the lazy networkx traversal.
+        compact = CompactGraph.try_from_networkx(knowledge, metric)
+        solver_graph = compact if compact is not None else knowledge
         for destination in destinations:
-            entry = self._best_next_hop(knowledge, neighbors, destination)
+            entry = self._best_next_hop(knowledge, solver_graph, neighbors, destination)
             if entry is not None:
                 self._routes[destination] = entry
 
@@ -70,7 +76,11 @@ class RoutingTable:
         return graph
 
     def _best_next_hop(
-        self, knowledge: nx.Graph, neighbors: NeighborTable, destination: NodeId
+        self,
+        knowledge: nx.Graph,
+        solver_graph,
+        neighbors: NeighborTable,
+        destination: NodeId,
     ) -> Optional[RouteEntry]:
         metric = self.metric
         owner = self.owner
@@ -80,7 +90,7 @@ class RoutingTable:
         else:
             direct_value = None
 
-        from_destination = best_values_from(knowledge, destination, metric, excluded=(owner,))
+        from_destination = best_values_from(solver_graph, destination, metric, excluded=(owner,))
         hops_from_destination = self._hop_distances(knowledge, destination)
         candidates: Dict[NodeId, tuple[float, float]] = {}
         for neighbor in one_hop:

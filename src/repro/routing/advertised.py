@@ -21,7 +21,6 @@ from typing import Dict, FrozenSet, Mapping
 import networkx as nx
 
 from repro.core.selection import AnsSelector, SelectionResult
-from repro.localview.view import LocalView
 from repro.metrics.base import Metric
 from repro.topology.network import Network
 from repro.utils.ids import NodeId
@@ -55,12 +54,12 @@ class AdvertisedTopology:
 
 
 def run_selection(network: Network, selector: AnsSelector, metric: Metric) -> Dict[NodeId, SelectionResult]:
-    """Run ``selector`` at every node of ``network`` (each node sees only its local view)."""
-    results: Dict[NodeId, SelectionResult] = {}
-    for node in network.nodes():
-        view = LocalView.from_network(network, node)
-        results[node] = selector.select(view, metric)
-    return results
+    """Run ``selector`` at every node of ``network`` (each node sees only its local view).
+
+    All views are built in one batched pass over the network adjacency (see
+    :meth:`LocalView.all_from_network`) before the per-node selections run.
+    """
+    return selector.select_all(network, metric)
 
 
 def build_advertised_topology(

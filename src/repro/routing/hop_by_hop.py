@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Tuple
 
 import networkx as nx
 
+from repro.localview.compactgraph import CompactGraph
 from repro.localview.paths import best_values_from
 from repro.metrics.base import Metric
 from repro.metrics.ordering import preferred_neighbor
@@ -55,6 +56,23 @@ class HopByHopRouter:
         self.network = network
         self.advertised = advertised
         self.metric = metric
+        self._advertised_compact: Optional[CompactGraph] = None
+        self._advertised_compact_failed = False
+
+    def _advertised_compact_graph(self) -> Optional[CompactGraph]:
+        """One flat snapshot of the advertised topology, shared by every next-hop solve.
+
+        The advertised graph is fixed for the router's lifetime, so the per-hop
+        ``best_values_from`` calls can all reuse it (excluded nodes are handled at solver
+        level).  None when some advertised edge lacks the metric's attribute; the callers
+        then pass the networkx graph and keep the lazy traversal semantics.
+        """
+        if self._advertised_compact is None and not self._advertised_compact_failed:
+            self._advertised_compact = CompactGraph.try_from_networkx(
+                self.advertised.graph, self.metric
+            )
+            self._advertised_compact_failed = self._advertised_compact is None
+        return self._advertised_compact
 
     # ------------------------------------------------------------------ next-hop decision
 
@@ -80,8 +98,12 @@ class HopByHopRouter:
         # Best value and hop distance from the destination to every node over the advertised
         # links, never passing through ``current`` (the rest of the path cannot revisit it).
         if self.advertised.graph.has_node(destination):
+            compact = self._advertised_compact_graph()
             from_destination = best_values_from(
-                self.advertised.graph, destination, metric, excluded=(current,)
+                compact if compact is not None else self.advertised.graph,
+                destination,
+                metric,
+                excluded=(current,),
             )
             hops_from_destination = self._hop_distances(destination, excluded=current)
         else:

@@ -4,6 +4,11 @@ The paper's evaluation uses the authors' own C simulator with an ideal MAC layer
 is its Python counterpart: a time-ordered event queue and nothing else.  Events are plain
 callables scheduled at absolute times; ties are broken by insertion order so runs are fully
 deterministic.
+
+Cancellation is lazy: a cancelled event stays in the heap (marked dead) until it bubbles to
+the front or until cancelled events outnumber live ones, at which point the queue is
+compacted in one pass.  A live-event counter keeps :meth:`Simulator.pending_events` O(1)
+either way.
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ class _ScheduledEvent:
     order: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    executed: bool = field(default=False, compare=False)
 
 
 class EventCancelled(Exception):
@@ -30,11 +36,16 @@ class EventCancelled(Exception):
 class EventHandle:
     """Handle returned by :meth:`Simulator.schedule`, usable to cancel the event."""
 
-    def __init__(self, event: _ScheduledEvent):
+    def __init__(self, event: _ScheduledEvent, simulator: "Simulator"):
         self._event = event
+        self._simulator = simulator
 
     def cancel(self) -> None:
-        self._event.cancelled = True
+        event = self._event
+        if event.cancelled or event.executed:
+            return
+        event.cancelled = True
+        self._simulator._on_cancel()
 
     @property
     def cancelled(self) -> bool:
@@ -53,6 +64,7 @@ class Simulator:
         self._order = itertools.count()
         self._now = 0.0
         self._processed = 0
+        self._live = 0  # events in the queue that are neither cancelled nor executed
 
     # ------------------------------------------------------------------ scheduling
 
@@ -72,7 +84,8 @@ class Simulator:
             raise ValueError(f"cannot schedule in the past (now={self._now}, requested={time})")
         event = _ScheduledEvent(time=time, order=next(self._order), callback=callback)
         heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        self._live += 1
+        return EventHandle(event, self)
 
     def schedule_in(self, delay: float, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` after ``delay`` time units."""
@@ -88,6 +101,8 @@ class Simulator:
             event = heapq.heappop(self._queue)
             if event.cancelled:
                 continue
+            self._live -= 1
+            event.executed = True
             self._now = event.time
             event.callback()
             self._processed += 1
@@ -100,6 +115,8 @@ class Simulator:
             event = heapq.heappop(self._queue)
             if event.cancelled:
                 continue
+            self._live -= 1
+            event.executed = True
             self._now = event.time
             event.callback()
             self._processed += 1
@@ -108,5 +125,16 @@ class Simulator:
                 raise RuntimeError(f"simulation exceeded {max_events} events without draining")
 
     def pending_events(self) -> int:
-        """Number of not-yet-executed (and not cancelled) events."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of not-yet-executed (and not cancelled) events.  O(1)."""
+        return self._live
+
+    # ------------------------------------------------------------------ internals
+
+    def _on_cancel(self) -> None:
+        self._live -= 1
+        # Compact once dead events outnumber live ones, so a long run that schedules and
+        # cancels heavily (e.g. protocol timers being refreshed) cannot keep every dead
+        # event resident until its timestamp is reached.
+        if len(self._queue) > 8 and len(self._queue) - self._live > self._live:
+            self._queue = [event for event in self._queue if not event.cancelled]
+            heapq.heapify(self._queue)
