@@ -2,10 +2,12 @@
 
 Times the all-targets first-hop computation (the inner loop of every density sweep) on the
 same dense local view as ``test_bench_micro_selection.py``, for every solver method and for
-the legacy networkx implementations the compact-graph core replaced, and writes the results
-(targets/sec per method plus the compact-vs-networkx speedups) to ``BENCH_selection.json``
-at the repository root.  Successive PRs re-run this to keep the perf trajectory comparable
-across versions::
+the legacy networkx implementations the compact-graph core replaced; additionally times the
+concave bottleneck-forest solve cold vs warm (cold drops the per-view forest cache first,
+so every run pays for Kruskal; warm answers from the cache) and the advertised-topology
+construction as a full per-selector rebuild vs the incremental edge-set diff the sweeps
+use.  Everything is written to ``BENCH_selection.json`` at the repository root.  Successive
+PRs re-run this to keep the perf trajectory comparable across versions::
 
     PYTHONPATH=src python benchmarks/record.py            # writes BENCH_selection.json
     PYTHONPATH=src python benchmarks/record.py --rounds 60 --output /tmp/bench.json
@@ -24,6 +26,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.core.selection import make_selector  # noqa: E402
 from repro.localview import LocalView, all_first_hops  # noqa: E402
 from repro.localview.paths import (  # noqa: E402
     _all_first_hops_bottleneck_forest_nx,
@@ -31,23 +34,36 @@ from repro.localview.paths import (  # noqa: E402
     _first_hops_to_nx,
 )
 from repro.metrics import BandwidthMetric, DelayMetric, UniformWeightAssigner  # noqa: E402
+from repro.routing.advertised import (  # noqa: E402
+    AdvertisedTopologyBuilder,
+    build_advertised_topology,
+    run_selection,
+)
 from repro.topology import FieldSpec, FixedCountNetworkGenerator  # noqa: E402
 
+#: Selector cycle timed by the advertised-topology benchmark (the paper's legend order).
+ADVERTISED_SELECTORS = ("qolsr-mpr2", "topology-filtering", "fnbp")
 
-def dense_view() -> LocalView:
-    """The dense benchmark view (mirrors ``test_bench_micro_selection._dense_view``)."""
+
+def dense_network():
+    """The dense benchmark topology (mirrors ``test_bench_micro_selection._dense_view``)."""
     metrics = (BandwidthMetric(), DelayMetric())
     assigners = tuple(
         UniformWeightAssigner(metric=metric, low=1.0, high=10.0, seed=31 + i)
         for i, metric in enumerate(metrics)
     )
-    network = FixedCountNetworkGenerator(
+    return FixedCountNetworkGenerator(
         field=FieldSpec(width=420.0, height=420.0, radius=100.0),
         node_count=220,
         seed=13,
         weight_assigners=assigners,
         restrict_to_largest_component=True,
     ).generate()
+
+
+def dense_view() -> LocalView:
+    """The dense benchmark view (the node in the middle of the id range)."""
+    network = dense_network()
     owner = network.nodes()[len(network) // 2]
     return LocalView.from_network(network, owner)
 
@@ -84,6 +100,67 @@ def time_case(fn, rounds: int) -> dict:
     }
 
 
+def record_forest_cache(view: LocalView, rounds: int) -> dict:
+    """Cold-vs-warm timings of the concave all-targets solve on one dense view.
+
+    Cold drops the cached bottleneck forest before every run (the compact graph stays, so
+    the delta is exactly the Kruskal the cache skips); warm answers from the cache.
+    """
+    bandwidth = BandwidthMetric()
+
+    def cold():
+        view._forest.clear()
+        all_first_hops(view, bandwidth, method="bottleneck-forest")
+
+    def warm():
+        all_first_hops(view, bandwidth, method="bottleneck-forest")
+
+    cold_timing = time_case(cold, rounds)
+    warm_timing = time_case(warm, rounds)
+    return {
+        "cold": cold_timing,
+        "warm": warm_timing,
+        "warm_speedup": cold_timing["min_s"] / warm_timing["min_s"],
+    }
+
+
+def record_advertised_topology(rounds: int) -> dict:
+    """Full-rebuild vs incremental-diff timings of the advertised topology construction.
+
+    One timed round builds the topologies of all paper selectors on the dense benchmark
+    network (the selections themselves are precomputed outside the timed region): the
+    rebuild path assembles every graph from zero, the incremental path diffs one working
+    graph from selector to selector exactly as the overhead sweep does.
+    """
+    network = dense_network()
+    metric = BandwidthMetric()
+    views = LocalView.all_from_network(network)
+    selections = {
+        name: run_selection(network, make_selector(name), metric, views=views)
+        for name in ADVERTISED_SELECTORS
+    }
+
+    def rebuild():
+        for name in ADVERTISED_SELECTORS:
+            build_advertised_topology(network, selections[name])
+
+    builder = AdvertisedTopologyBuilder(network)
+
+    def incremental():
+        for name in ADVERTISED_SELECTORS:
+            builder.build(selections[name])
+
+    rebuild_timing = time_case(rebuild, rounds)
+    incremental_timing = time_case(incremental, rounds)
+    return {
+        "network": {"nodes": len(network), "links": network.number_of_links()},
+        "selectors": list(ADVERTISED_SELECTORS),
+        "rebuild": rebuild_timing,
+        "incremental": incremental_timing,
+        "incremental_speedup": rebuild_timing["min_s"] / incremental_timing["min_s"],
+    }
+
+
 def record(rounds: int) -> dict:
     view = dense_view()
     targets = len(view.known_targets())
@@ -109,6 +186,8 @@ def record(rounds: int) -> dict:
         "python": platform.python_version(),
         "results": results,
         "speedup_vs_networkx": speedups,
+        "forest_cache": record_forest_cache(view, rounds),
+        "advertised_topology": record_advertised_topology(max(5, rounds // 4)),
     }
 
 
@@ -129,6 +208,17 @@ def main(argv=None) -> int:
         print(f"{name:32s} min {timing['min_s'] * 1e3:8.3f} ms   {timing['targets_per_s']:10.0f} targets/s")
     for name, speedup in sorted(payload["speedup_vs_networkx"].items()):
         print(f"speedup vs networkx: {name:24s} {speedup:5.2f}x")
+    forest = payload["forest_cache"]
+    print(
+        f"forest cache: cold {forest['cold']['min_s'] * 1e3:.3f} ms  "
+        f"warm {forest['warm']['min_s'] * 1e3:.3f} ms  ({forest['warm_speedup']:.2f}x)"
+    )
+    advertised = payload["advertised_topology"]
+    print(
+        f"advertised topology: rebuild {advertised['rebuild']['min_s'] * 1e3:.3f} ms  "
+        f"incremental {advertised['incremental']['min_s'] * 1e3:.3f} ms  "
+        f"({advertised['incremental_speedup']:.2f}x)"
+    )
     print(f"wrote {args.output}")
     return 0
 

@@ -85,12 +85,22 @@ class AnsSelector(ABC):
     def select(self, view: LocalView, metric: Metric) -> SelectionResult:
         """Run the selection at ``view.owner`` for the given metric."""
 
-    def select_all(self, network, metric: Metric) -> Dict[NodeId, SelectionResult]:
+    def select_all(
+        self,
+        network,
+        metric: Metric,
+        views: Optional[Dict[NodeId, LocalView]] = None,
+    ) -> Dict[NodeId, SelectionResult]:
         """Run the selection at every node of a network (convenience for experiments).
 
-        Views are built in one batched adjacency pass rather than node by node.
+        Views are built in one batched adjacency pass rather than node by node.  Callers
+        that run several selectors (or several metrics) on the same network should build
+        the batch once and pass it as ``views``: each view memoizes its per-metric compact
+        graph and bottleneck forest, so sharing the views shares that work across runs
+        (this is what the sweep harness does through :class:`repro.experiments.runner.Trial`).
         """
-        views = LocalView.all_from_network(network)
+        if views is None:
+            views = LocalView.all_from_network(network)
         return {node: self.select(view, metric) for node, view in views.items()}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

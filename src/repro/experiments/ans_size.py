@@ -86,7 +86,11 @@ def run_ans_size_experiment(
 
 
 def _selections_for_sample(trial, selector_name: str, sampled: set) -> Sequence:
-    """Selection results for the sampled nodes only (avoids running selectors network-wide)."""
+    """Selection results for the sampled nodes only (avoids running selectors network-wide).
+
+    The trial's views -- and with them the per-metric compact-graph and bottleneck-forest
+    caches -- are shared across every selector of the sweep.
+    """
     from repro.core.selection import make_selector
 
     selector = make_selector(selector_name)

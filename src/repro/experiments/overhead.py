@@ -40,7 +40,10 @@ def _overhead_trial(trial: Trial) -> dict:
 
     The centralized optimum of each pair is computed once and shared by all selectors (it
     depends only on the topology), exactly as comparing "on the same topology with the same
-    source and destination" requires.
+    source and destination" requires.  The per-selector advertised topologies are diffed
+    incrementally off one working graph (see :meth:`Trial.advertised_topology`); each
+    selector's routing completes before the next topology is requested, which is exactly
+    the access pattern that liveness contract requires.
     """
     metric = trial.metric
     if len(trial.network) < 2:

@@ -11,6 +11,15 @@ run_index)``, trials are embarrassingly parallel: :func:`map_trials` optionally 
 out over a multiprocessing pool (``workers=`` argument or the ``REPRO_WORKERS`` environment
 variable) and re-assembles the per-trial results in run order, so a parallel sweep
 aggregates bit-identically to a serial one.
+
+Every cache in the harness hangs off the :class:`Trial` (the per-view compact graphs and
+bottleneck forests live on the trial's views; the advertised topology is maintained
+incrementally by the trial's :class:`AdvertisedTopologyBuilder`), and under the parallel
+path each worker process builds its own trials.  Caches are therefore per-worker by
+construction -- nothing warm crosses a process boundary -- and a worker's computation for a
+given run index is the same deterministic function a serial run evaluates, which is what
+keeps parallel sweeps bit-identical to serial ones even with all caches enabled (asserted
+by ``tests/test_compactgraph_and_parallel.py``).
 """
 
 from __future__ import annotations
@@ -24,7 +33,7 @@ from repro.core.selection import AnsSelector, SelectionResult, make_selector
 from repro.experiments.config import SweepConfig
 from repro.localview.view import LocalView
 from repro.metrics import Metric, UniformWeightAssigner
-from repro.routing.advertised import AdvertisedTopology, build_advertised_topology
+from repro.routing.advertised import AdvertisedTopology, AdvertisedTopologyBuilder
 from repro.topology.generators import PoissonNetworkGenerator
 from repro.topology.network import Network
 from repro.utils.ids import NodeId
@@ -42,7 +51,9 @@ class Trial:
     network: Network
     _views: Optional[Dict[NodeId, LocalView]] = None
     _selections: Dict[str, Dict[NodeId, SelectionResult]] = field(default_factory=dict)
-    _advertised: Dict[str, AdvertisedTopology] = field(default_factory=dict)
+    _advertised: Optional[AdvertisedTopology] = None
+    _advertised_builder: Optional[AdvertisedTopologyBuilder] = None
+    _advertised_current: Optional[str] = None
 
     # ------------------------------------------------------------------ views
 
@@ -66,12 +77,24 @@ class Trial:
         return self._selections[selector_name]
 
     def advertised_topology(self, selector_name: str) -> AdvertisedTopology:
-        """The network-wide advertised topology induced by one selector (cached)."""
-        if selector_name not in self._advertised:
-            self._advertised[selector_name] = build_advertised_topology(
-                self.network, self.selections(selector_name)
-            )
-        return self._advertised[selector_name]
+        """The network-wide advertised topology induced by one selector.
+
+        Maintained incrementally: one working graph per trial is diffed from the previously
+        requested selector's advertised edge-set to this one instead of being rebuilt from
+        zero (see :class:`AdvertisedTopologyBuilder`).  Consequently the returned topology
+        is *live* -- it is valid until the next ``advertised_topology`` call with a
+        different selector, which re-targets the shared graph.  Every sweep in the harness
+        finishes routing over one selector's topology before requesting the next, so the
+        contract never bites there; callers needing several topologies alive at once should
+        use :func:`repro.routing.advertised.build_advertised_topology` directly.
+        """
+        if self._advertised_current == selector_name and self._advertised is not None:
+            return self._advertised
+        if self._advertised_builder is None:
+            self._advertised_builder = AdvertisedTopologyBuilder(self.network)
+        self._advertised = self._advertised_builder.build(self.selections(selector_name))
+        self._advertised_current = selector_name
+        return self._advertised
 
     # ------------------------------------------------------------------ sampling
 

@@ -170,6 +170,55 @@ def combine_and_equality(metric: Metric):
 # ---------------------------------------------------------------------- solvers
 
 
+def max_bottleneck_forest(
+    cg: CompactGraph, excluded: int, metric: Metric
+) -> Tuple[Tuple[Tuple[int, float], ...], ...]:
+    """Maximum-bottleneck spanning forest of ``cg`` minus one node (Kruskal).
+
+    For a concave metric the best path value between two nodes of a graph equals the
+    bottleneck along their unique path in any maximum(-bottleneck) spanning forest, so one
+    forest answers every pairwise bottleneck query on the owner-free view.  Edges are sorted
+    best-first by ``metric.sort_key`` and joined with a union-find.
+
+    The returned adjacency (``forest[i]`` is a tuple of ``(neighbor_index, link_value)``
+    pairs, indices matching ``cg``) is immutable, which is what makes it safe to cache per
+    ``(view, metric)`` -- :meth:`repro.localview.view.LocalView.bottleneck_forest` memoizes
+    one forest per metric cache token so repeated concave selector runs on one view skip
+    Kruskal entirely.
+    """
+    adj = cg.adj
+    node_count = len(adj)
+    sort_key = metric.sort_key
+    edges = []
+    for a in range(node_count):
+        if a == excluded:
+            continue
+        for b, value in adj[a]:
+            if a < b and b != excluded:
+                edges.append((sort_key(value), a, b, value))
+    edges.sort()
+
+    parent = list(range(node_count))
+
+    def find(node: int) -> int:
+        root = node
+        while parent[root] != root:
+            root = parent[root]
+        while parent[node] != root:
+            parent[node], node = root, parent[node]
+        return root
+
+    forest: list = [[] for _ in range(node_count)]
+    for _, a, b, value in edges:
+        root_a, root_b = find(a), find(b)
+        if root_a == root_b:
+            continue
+        parent[root_a] = root_b
+        forest[a].append((b, value))
+        forest[b].append((a, value))
+    return tuple(tuple(row) for row in forest)
+
+
 def best_values(
     cg: CompactGraph,
     source: int,

@@ -25,6 +25,17 @@ keep their networkx-accepting signatures and adapt internally; the original netw
 implementations survive as ``_*_nx`` module privates so the benchmark recorder
 (``benchmarks/record.py``) and the cross-validation tests can measure and check the compact
 core against them.
+
+Caching contract: both per-view caches this module consumes --
+:meth:`LocalView.compact_graph` (link values extracted once per metric) and
+:meth:`LocalView.bottleneck_forest` (the owner-free maximum-bottleneck spanning forest the
+concave fast path walks, so warm runs skip Kruskal entirely) -- are keyed by
+:meth:`Metric.cache_token` and are valid exactly as long as the view's links do not change;
+any mutation must go through :meth:`LocalView.update_link` (or call
+:meth:`LocalView.invalidate_caches`), after which the next solve transparently rebuilds
+both.  The solvers never mutate the cached structures, so views (and therefore warm caches)
+are safe to share across selectors within one process; worker processes build their own
+views and thus their own caches.
 """
 
 from __future__ import annotations
@@ -199,26 +210,41 @@ def all_first_hops(
     * ``"per-target"`` calls :func:`first_hops_to` once per target (one solver run each) --
       the direct transcription of the paper's definition, used as the reference in tests.
     * ``"owner-dijkstra"`` runs a *single* solver pass rooted at the owner and propagates
-      first-hop sets along tight predecessor links.  Valid only for **additive** metrics,
-      where every prefix of an optimal path is itself optimal.
+      first-hop sets along tight predecessor links.  Valid only for **prefix-optimal**
+      metrics (see :attr:`Metric.prefix_optimal`): every prefix of an optimal path must
+      itself be optimal, which holds for the additive family but *not* for composites with
+      a concave component (a suffix's ``min`` can erase a prefix's disadvantage, so
+      optimal paths with suboptimal prefixes exist and the propagation would miss their
+      first hops).
     * ``"bottleneck-forest"`` computes, for **concave** metrics, every pairwise bottleneck
       value through a maximum-bottleneck spanning forest of the view without the owner
       (the classical equivalence between widest paths and maximum spanning trees), then
       assembles the first-hop sets from ``combine(w(u, n), bottleneck(n, target))``.
 
-    ``"auto"`` (default) picks the fast implementation matching the metric's kind.  This is
-    what makes the paper's densest settings (about 1100 nodes of degree 35, each with a
-    local view of well over a hundred nodes) tractable in pure Python.
+    ``"auto"`` (default) picks the fast implementation matching the metric: owner-dijkstra
+    for prefix-optimal additive metrics, bottleneck-forest for concave metrics, and the
+    per-target reference for anything else (e.g. lexicographic composites mixing the
+    families, for which neither single-pass shortcut is sound).  This is what makes the
+    paper's densest settings (about 1100 nodes of degree 35, each with a local view of
+    well over a hundred nodes) tractable in pure Python.
     """
     if method == "per-target":
         return {target: first_hops_to(view, target, metric) for target in view.known_targets()}
     if method == "auto":
-        method = "owner-dijkstra" if metric.kind is MetricKind.ADDITIVE else "bottleneck-forest"
+        if metric.kind is MetricKind.ADDITIVE and metric.prefix_optimal:
+            method = "owner-dijkstra"
+        elif metric.kind is MetricKind.CONCAVE:
+            method = "bottleneck-forest"
+        else:
+            return {
+                target: first_hops_to(view, target, metric) for target in view.known_targets()
+            }
     if method == "owner-dijkstra":
-        if metric.kind is not MetricKind.ADDITIVE:
+        if metric.kind is not MetricKind.ADDITIVE or not metric.prefix_optimal:
             raise ValueError(
-                "the owner-dijkstra method is only correct for additive metrics; "
-                "use 'bottleneck-forest' or 'per-target' for concave metrics"
+                "the owner-dijkstra method is only correct for prefix-optimal additive "
+                "metrics; use 'per-target' for mixed composites and 'bottleneck-forest' "
+                "for concave metrics"
             )
         return _all_first_hops_owner_dijkstra(view, metric)
     if method == "bottleneck-forest":
@@ -354,17 +380,17 @@ def _all_first_hops_bottleneck_forest(view: LocalView, metric: Metric) -> Dict[N
     """Every first-hop set for a concave (bottleneck) metric, via a maximum spanning forest.
 
     For bottleneck metrics the best value between two nodes of a graph equals the bottleneck
-    along their path in any maximum(-bottleneck) spanning forest.  So: build one spanning
-    forest of the owner-free view with Kruskal over edges sorted best-first, then walk the
-    forest once *per one-hop neighbor* (bottleneck values are symmetric, and a node has
-    fewer one-hop neighbors than known targets) to obtain ``best(n → target in G \\ {u})``
-    for every target, and combine with the owner's direct links exactly as in
-    :func:`first_hops_to`.  For the stock concave metrics the inner loops inline ``min``
-    and the tolerant equality (see
-    :func:`~repro.localview.compactgraph.float_values_equal`).
+    along their path in any maximum(-bottleneck) spanning forest.  So: take the owner-free
+    spanning forest (built with Kruskal over edges sorted best-first and cached per metric
+    on the view -- see :meth:`LocalView.bottleneck_forest` -- so only the first run per
+    ``(view, metric)`` pays for the sort and union-find), then walk the forest once *per
+    one-hop neighbor* (bottleneck values are symmetric, and a node has fewer one-hop
+    neighbors than known targets) to obtain ``best(n → target in G \\ {u})`` for every
+    target, and combine with the owner's direct links exactly as in :func:`first_hops_to`.
+    For the stock concave metrics the inner loops inline ``min`` and the tolerant equality
+    (see :func:`~repro.localview.compactgraph.float_values_equal`).
     """
     cg = view.compact_graph(metric)
-    owner_idx = cg.index[view.owner]
     node_count = len(cg.adj)
     worst = metric.worst
     if node_count <= 1:
@@ -373,7 +399,7 @@ def _all_first_hops_bottleneck_forest(view: LocalView, metric: Metric) -> Dict[N
             for target in view.known_targets()
         }
 
-    forest = _forest_without_owner(cg, owner_idx, metric)
+    forest = view.bottleneck_forest(metric)
     one_hop_rows = _one_hop_rows(view, cg)
     plain = specialized_kind(metric) == "concave"
     identity = metric.identity
@@ -462,41 +488,6 @@ def _all_first_hops_bottleneck_forest(view: LocalView, metric: Metric) -> Dict[N
             )
         results[target] = FirstHopResult(target=target, best_value=best_value, first_hops=first_hops)
     return results
-
-
-def _forest_without_owner(cg: CompactGraph, owner_idx: int, metric: Metric) -> List[List[Tuple[int, float]]]:
-    """Maximum-bottleneck spanning forest of the compact view minus the owner (Kruskal)."""
-    adj = cg.adj
-    node_count = len(adj)
-    sort_key = metric.sort_key
-    edges = []
-    for a in range(node_count):
-        if a == owner_idx:
-            continue
-        for b, value in adj[a]:
-            if a < b and b != owner_idx:
-                edges.append((sort_key(value), a, b, value))
-    edges.sort()
-
-    parent = list(range(node_count))
-
-    def find(node: int) -> int:
-        root = node
-        while parent[root] != root:
-            root = parent[root]
-        while parent[node] != root:
-            parent[node], node = root, parent[node]
-        return root
-
-    forest: List[List[Tuple[int, float]]] = [[] for _ in range(node_count)]
-    for _, a, b, value in edges:
-        root_a, root_b = find(a), find(b)
-        if root_a == root_b:
-            continue
-        parent[root_a] = root_b
-        forest[a].append((b, value))
-        forest[b].append((a, value))
-    return forest
 
 
 # ---------------------------------------------------------------------- legacy networkx core

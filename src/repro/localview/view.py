@@ -11,11 +11,18 @@ the paper's Figure 2 illustrates with the invisible link ``(v8, v9)``).
 baselines) takes a :class:`LocalView` as input, which keeps them honest: they can only use
 information a real OLSR node would have.
 
-Views are immutable once built: the selection machinery caches one
-:class:`~repro.localview.compactgraph.CompactGraph` per metric on the view
-(:meth:`LocalView.compact_graph`), and the batch constructor
+Views are immutable by default: the selection machinery caches one
+:class:`~repro.localview.compactgraph.CompactGraph` *and* one owner-free
+maximum-bottleneck spanning forest per metric on the view (:meth:`LocalView.compact_graph`
+/ :meth:`LocalView.bottleneck_forest`), and the batch constructor
 (:meth:`LocalView.all_from_network`) shares link-attribute dictionaries between sibling
-views, so callers must treat ``view.graph`` and its edge data as read-only.
+views, so callers must treat ``view.graph`` and its edge data as read-only.  The one
+sanctioned mutation path is :meth:`LocalView.update_link` (a node re-measuring one of the
+links it knows about): it un-shares the edge-attribute dictionary before writing, so
+sibling views built in the same batch are unaffected, and drops every derived cache via
+:meth:`LocalView.invalidate_caches`.  Code that mutates ``view.graph`` behind the view's
+back must call :meth:`LocalView.invalidate_caches` itself or the cached solvers will keep
+answering from the pre-mutation snapshot.
 """
 
 from __future__ import annotations
@@ -24,7 +31,7 @@ from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
 
 import networkx as nx
 
-from repro.localview.compactgraph import CompactGraph
+from repro.localview.compactgraph import CompactGraph, max_bottleneck_forest
 from repro.metrics.base import Metric
 from repro.utils.ids import NodeId
 
@@ -44,6 +51,7 @@ class LocalView:
         self.two_hop: FrozenSet[NodeId] = frozenset(two_hop)
         self.graph = graph
         self._compact: Dict[object, CompactGraph] = {}
+        self._forest: Dict[object, tuple] = {}
         self._validate()
 
     # ------------------------------------------------------------------ construction
@@ -164,6 +172,53 @@ class LocalView:
             compact = CompactGraph.from_networkx(self.graph, metric)
             self._compact[token] = compact
         return compact
+
+    def bottleneck_forest(self, metric: Metric) -> tuple:
+        """The owner-free maximum-bottleneck spanning forest under ``metric`` (cached).
+
+        This is what lets repeated concave selector runs on one view skip Kruskal entirely:
+        the forest is a pure function of the view's link weights, so it is built once per
+        metric cache token (like :meth:`compact_graph`) and shared by every subsequent
+        ``bottleneck-forest`` solve.  The forest adjacency is indexed like
+        ``self.compact_graph(metric)`` and is immutable; :meth:`invalidate_caches` drops it
+        together with the compact graphs whenever the view's links change.
+        """
+        token = metric.cache_token()
+        forest = self._forest.get(token)
+        if forest is None:
+            cg = self.compact_graph(metric)
+            forest = max_bottleneck_forest(cg, cg.index[self.owner], metric)
+            self._forest[token] = forest
+        return forest
+
+    # ------------------------------------------------------------------ mutation
+
+    def invalidate_caches(self) -> None:
+        """Drop every cached per-metric structure (compact graphs and bottleneck forests).
+
+        Must be called after *any* mutation of ``self.graph`` or its edge attributes; the
+        sanctioned mutation path :meth:`update_link` does so automatically.
+        """
+        self._compact.clear()
+        self._forest.clear()
+
+    def update_link(self, u: NodeId, v: NodeId, **weights: float) -> None:
+        """Update the attributes of a known link and drop the derived caches.
+
+        Models a node re-measuring the QoS of a link it already knows about.  The link's
+        attribute dictionary may be shared with sibling views built by
+        :meth:`all_from_network`; it is replaced by a fresh copy before writing so the
+        update stays local to this view (other nodes only learn of new measurements through
+        the protocol, not through shared memory).
+        """
+        if not self.graph.has_edge(u, v):
+            raise KeyError(f"node {self.owner} does not know of a link between {u} and {v}")
+        adjacency = self.graph._adj
+        updated = dict(adjacency[u][v])
+        updated.update(weights)
+        adjacency[u][v] = updated
+        adjacency[v][u] = updated
+        self.invalidate_caches()
 
     def has_link(self, u: NodeId, v: NodeId) -> bool:
         """True when the owner knows about a link between ``u`` and ``v``."""

@@ -52,6 +52,23 @@ class Metric(ABC):
     #: would suffice there, but experiments draw real-valued weights.
     rel_tol: float = 1e-9
 
+    @property
+    def prefix_optimal(self) -> bool:
+        """Whether every prefix of an optimal path is itself optimal under this metric.
+
+        The single-pass ``owner-dijkstra`` first-hop method propagates first-hop sets
+        across *tight* links rooted at the owner, which is only complete when a path can be
+        optimal exclusively through optimal prefixes.  That holds for plain additive
+        composition (adding a common suffix preserves every componentwise difference) but
+        fails as soon as composition can erase differences -- ``min`` makes a bottleneck
+        path optimal even when its prefix is not, which is also why concave metrics use the
+        ``bottleneck-forest`` method instead.  Conservative default: False; the stock
+        additive family overrides it, and composites derive it from their components.
+        Subclasses that override :meth:`combine` with non-additive semantics must leave it
+        (or set it back to) False.
+        """
+        return False
+
     # ------------------------------------------------------------------ composition
 
     @property
@@ -168,6 +185,10 @@ class AdditiveMetric(Metric):
     """Base class for additive metrics (path value = sum of link values, smaller is better)."""
 
     kind = MetricKind.ADDITIVE
+
+    @property
+    def prefix_optimal(self) -> bool:
+        return True
 
     @property
     def identity(self) -> float:

@@ -31,6 +31,14 @@ class LexicographicMetric(Metric):
 
     kind = MetricKind.ADDITIVE  # nominal; composition is per-component
 
+    @property
+    def prefix_optimal(self) -> bool:
+        # Lexicographic comparison of componentwise sums is preserved when a common suffix
+        # is added, so the composite is prefix-optimal exactly when every component is; one
+        # concave (min-composed) component breaks it, because the suffix's bottleneck can
+        # erase a prefix's disadvantage.
+        return all(metric.prefix_optimal for metric in self.criteria)
+
     def __init__(self, criteria: Sequence[Metric], name: str | None = None):
         if not criteria:
             raise ValueError("a lexicographic metric needs at least one criterion")

@@ -11,16 +11,31 @@ own link QoS and include it in the announcements, as QOLSR does).
 Routing then happens *on this graph* plus, at each forwarding node, that node's own one-hop
 links (known from HELLOs even when nobody advertised them) -- see
 :mod:`repro.routing.hop_by_hop`.
+
+Two construction paths are provided.  :func:`build_advertised_topology` assembles an
+independent graph from zero -- the right tool when the topology must outlive later builds
+(tests, examples, one-off analyses).  :class:`AdvertisedTopologyBuilder` is the incremental
+variant the sweeps use: it keeps ONE working graph per network and, for each successive
+selection, diffs the newly advertised edge-set against the currently materialized one,
+removing stale links and adding fresh ones instead of re-inserting every edge and
+re-copying every attribute dictionary.  Selectors on one topology advertise heavily
+overlapping link sets (they are all subsets of the same physical links, dominated by the
+same well-placed relays), so the diff touches a small fraction of the edges a full rebuild
+would.  The price is a liveness contract: every :class:`AdvertisedTopology` returned by one
+builder wraps the *same* underlying graph, so only the most recently built selection is
+valid at any time (exactly the access pattern of the overhead sweep, which finishes routing
+over one selector's topology before asking for the next).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Mapping
+from typing import Dict, FrozenSet, Mapping, Optional
 
 import networkx as nx
 
 from repro.core.selection import AnsSelector, SelectionResult
+from repro.localview.view import LocalView
 from repro.metrics.base import Metric
 from repro.topology.network import Network
 from repro.utils.ids import NodeId
@@ -41,6 +56,25 @@ class AdvertisedTopology:
 
     graph: nx.Graph
     ans_sets: Dict[NodeId, FrozenSet[NodeId]] = field(default_factory=dict)
+    #: Set on topologies handed out by an :class:`AdvertisedTopologyBuilder`: the builder
+    #: and its generation counter at build time.  Independent topologies leave them unset.
+    _builder: object = None
+    _generation: int = 0
+
+    def assert_live(self) -> None:
+        """Raise if this topology came from a builder that has since been re-targeted.
+
+        Builder-produced topologies share one working graph, so once a newer build exists
+        this object's ``graph`` no longer matches its ``ans_sets``; consumers that route
+        over the graph (the hop-by-hop router) call this to turn silent corruption into an
+        error.  No-op for independently built topologies.
+        """
+        if self._builder is not None and self._builder._generation != self._generation:
+            raise RuntimeError(
+                "this AdvertisedTopology is stale: its builder has since materialized a "
+                "different selection on the shared graph; request it again (or use "
+                "build_advertised_topology for an independent graph)"
+            )
 
     def advertised_link_count(self) -> int:
         """Number of distinct links present in the advertised topology."""
@@ -53,38 +87,124 @@ class AdvertisedTopology:
         return sum(len(selected) for selected in self.ans_sets.values()) / len(self.ans_sets)
 
 
-def run_selection(network: Network, selector: AnsSelector, metric: Metric) -> Dict[NodeId, SelectionResult]:
+def run_selection(
+    network: Network,
+    selector: AnsSelector,
+    metric: Metric,
+    views: Optional[Dict[NodeId, LocalView]] = None,
+) -> Dict[NodeId, SelectionResult]:
     """Run ``selector`` at every node of ``network`` (each node sees only its local view).
 
     All views are built in one batched pass over the network adjacency (see
-    :meth:`LocalView.all_from_network`) before the per-node selections run.
+    :meth:`LocalView.all_from_network`) before the per-node selections run.  Pass ``views``
+    to reuse an already-built batch across several selector/metric runs: the views' cached
+    compact graphs and bottleneck forests then serve every run, instead of being rebuilt
+    per selector.
     """
-    return selector.select_all(network, metric)
+    return selector.select_all(network, metric, views=views)
+
+
+def _ans_sets(
+    selections: Mapping[NodeId, SelectionResult] | Mapping[NodeId, FrozenSet[NodeId]],
+) -> Dict[NodeId, FrozenSet[NodeId]]:
+    """Normalize per-node selections to plain frozen advertised sets."""
+    return {
+        node: (
+            selection.selected
+            if isinstance(selection, SelectionResult)
+            else frozenset(selection)
+        )
+        for node, selection in selections.items()
+    }
+
+
+def _advertised_edges(network: Network, ans_sets: Mapping[NodeId, FrozenSet[NodeId]]):
+    """The undirected edge keys induced by advertised sets, validated against the network.
+
+    A link appears as soon as *either* endpoint advertises the other; keys are frozensets so
+    both orientations collapse to one edge.
+    """
+    edges = set()
+    for node, selected in ans_sets.items():
+        for relay in selected:
+            if not network.has_link(node, relay):
+                raise ValueError(
+                    f"node {node} advertised {relay} but no such link exists in the network"
+                )
+            edges.add(frozenset((node, relay)))
+    return edges
 
 
 def build_advertised_topology(
     network: Network,
     selections: Mapping[NodeId, SelectionResult] | Mapping[NodeId, FrozenSet[NodeId]],
 ) -> AdvertisedTopology:
-    """Assemble the advertised topology from per-node selections.
+    """Assemble an independent advertised topology from per-node selections.
 
     ``selections`` maps each node either to a :class:`SelectionResult` or directly to the set
     of selected neighbors.  Links are added undirected: a link appears as soon as *either*
-    endpoint advertises the other.
+    endpoint advertises the other.  Every call builds a fresh graph; sweeps that build one
+    topology per selector on the same network should use
+    :class:`AdvertisedTopologyBuilder` instead.
     """
     graph = nx.Graph()
     graph.add_nodes_from(network.nodes())
-    ans_sets: Dict[NodeId, FrozenSet[NodeId]] = {}
-    for node, selection in selections.items():
-        selected = selection.selected if isinstance(selection, SelectionResult) else frozenset(selection)
-        ans_sets[node] = frozenset(selected)
-        for relay in selected:
-            if not network.has_link(node, relay):
-                raise ValueError(
-                    f"node {node} advertised {relay} but no such link exists in the network"
-                )
-            graph.add_edge(node, relay, **network.link_attributes(node, relay))
+    ans_sets = _ans_sets(selections)
+    for key in _advertised_edges(network, ans_sets):
+        u, v = key
+        graph.add_edge(u, v, **network.link_attributes(u, v))
     return AdvertisedTopology(graph=graph, ans_sets=ans_sets)
+
+
+class AdvertisedTopologyBuilder:
+    """Incrementally maintained advertised topology for one network.
+
+    Keeps a single working graph (all network nodes, currently advertised links) together
+    with the set of materialized edges.  :meth:`build` diffs the edge-set induced by a new
+    selection against the materialized one and only removes/adds the difference -- the
+    advertised sets of different selectors on one topology overlap heavily, so consecutive
+    builds touch few edges.  The edge diff never changes routing results relative to a full
+    rebuild: the advertised *edge set and attributes* are identical, and every consumer of
+    the graph (the hop-by-hop router, the compact-graph solvers) is insensitive to edge
+    insertion order.
+
+    Liveness contract: all :class:`AdvertisedTopology` objects returned by one builder share
+    the same underlying graph, so only the selection passed to the most recent
+    :meth:`build` call is represented at any moment.  Callers that need several selections
+    alive at once must use :func:`build_advertised_topology`.
+    """
+
+    def __init__(self, network: Network) -> None:
+        self._network = network
+        self._graph = nx.Graph()
+        self._graph.add_nodes_from(network.nodes())
+        self._edges: set = set()
+        self._generation = 0
+
+    def build(
+        self,
+        selections: Mapping[NodeId, SelectionResult] | Mapping[NodeId, FrozenSet[NodeId]],
+    ) -> AdvertisedTopology:
+        """Re-target the working graph to ``selections`` and return it as a topology.
+
+        Each build bumps the builder's generation; topologies from earlier builds raise
+        from :meth:`AdvertisedTopology.assert_live` instead of silently describing one
+        selection while carrying another's edges.
+        """
+        ans_sets = _ans_sets(selections)
+        edges = _advertised_edges(self._network, ans_sets)
+        graph = self._graph
+        for key in self._edges - edges:
+            graph.remove_edge(*key)
+        network = self._network
+        for key in edges - self._edges:
+            u, v = key
+            graph.add_edge(u, v, **network.link_attributes(u, v))
+        self._edges = edges
+        self._generation += 1
+        return AdvertisedTopology(
+            graph=graph, ans_sets=ans_sets, _builder=self, _generation=self._generation
+        )
 
 
 def advertise(

@@ -50,7 +50,17 @@ class RouteOutcome:
 
 
 class HopByHopRouter:
-    """Forwards packets using per-node next-hop decisions over an advertised topology."""
+    """Forwards packets using per-node next-hop decisions over an advertised topology.
+
+    The router assumes the advertised topology is fixed for its lifetime and caches derived
+    structures accordingly (a compact flat snapshot for the per-hop solves, the most recent
+    source's augmented link-state graph for :meth:`link_state_route`).  When the topology
+    comes from an incremental source -- :meth:`repro.experiments.runner.Trial.advertised_topology`
+    returns *live* graphs that are re-targeted when a different selector is requested --
+    finish routing with one router before building the next selector's topology; routing
+    over a re-targeted topology raises (see :meth:`AdvertisedTopology.assert_live`) rather
+    than silently mixing selections.
+    """
 
     def __init__(self, network: Network, advertised: AdvertisedTopology, metric: Metric):
         self.network = network
@@ -58,6 +68,8 @@ class HopByHopRouter:
         self.metric = metric
         self._advertised_compact: Optional[CompactGraph] = None
         self._advertised_compact_failed = False
+        self._knowledge_source: Optional[NodeId] = None
+        self._knowledge_graph: Optional[nx.Graph] = None
 
     def _advertised_compact_graph(self) -> Optional[CompactGraph]:
         """One flat snapshot of the advertised topology, shared by every next-hop solve.
@@ -91,6 +103,7 @@ class HopByHopRouter:
         metric = self.metric
         if destination == current:
             return None
+        self.advertised.assert_live()
         own_neighbors = self.network.neighbors(current)
         if destination in own_neighbors and not self.advertised.graph.has_node(destination):
             return destination
@@ -164,15 +177,25 @@ class HopByHopRouter:
     def link_state_route(self, source: NodeId, destination: NodeId) -> RouteOutcome:
         """The QoS-optimal route over the source's link-state database.
 
-        In OLSR every node computes its routing table on the same TC-learned topology (plus
-        its own links), so the path a packet follows is the one that database yields.  This
-        method models exactly that: one QoS-weighted shortest/widest-path computation over
-        the advertised topology augmented with the source's own links.  It is what the
-        overhead experiments (the paper's Figures 8 and 9) use, and unlike per-hop
-        recomputation it cannot loop: bottleneck metrics tie so often that independently
-        recomputed per-hop decisions (see :meth:`route`) may bounce a packet between equally
-        wide detours, something a real implementation avoids precisely because all nodes
-        share the same link-state database.
+        In OLSR every node computes its routing table on the TC-learned topology plus the
+        HELLO-learned neighborhood: RFC 3626's route calculation first adds routes to the
+        one- and two-hop neighbors from the neighbor tables, then extends them over the
+        advertised topology.  This method models exactly that: one QoS-weighted
+        shortest/widest-path computation over the advertised topology augmented with the
+        source's local view ``G_source`` (every link incident to one of its one-hop
+        neighbors, known from HELLO piggybacking).  It is what the overhead experiments
+        (the paper's Figures 8 and 9) use, and unlike per-hop recomputation it cannot loop:
+        bottleneck metrics tie so often that independently recomputed per-hop decisions
+        (see :meth:`route`) may bounce a packet between equally wide detours, something a
+        real implementation avoids precisely because all nodes share the same link-state
+        database.
+
+        Including the HELLO-learned two-hop links (not only the source's own links) is what
+        guarantees that every destination within two hops stays reachable even when its
+        incident links go unadvertised -- both endpoints of a link consider each other
+        covered by the optimal direct link, so neither selects (and hence advertises) the
+        other; the regression test for that situation lives in
+        ``tests/test_fnbp_loop_guard.py``.
         """
         from repro.routing.optimal import best_path
 
@@ -180,11 +203,25 @@ class HopByHopRouter:
             raise KeyError("source and destination must belong to the network")
         if source == destination:
             return RouteOutcome(source, destination, (source,), True, self.metric.identity)
+        self.advertised.assert_live()
 
-        knowledge = self.advertised.graph.copy()
-        knowledge.add_node(source)
-        for neighbor in self.network.neighbors(source):
-            knowledge.add_edge(source, neighbor, **self.network.link_attributes(source, neighbor))
+        # The source's link-state database (advertised topology + its local view) is fixed
+        # for the router's lifetime, so routing several destinations from one source in a
+        # row reuses the same augmented graph instead of re-copying the advertised
+        # topology per pair.  Only the most recent source's graph is kept: sweeps draw
+        # sources randomly (little reuse, so retaining more would be pure memory cost)
+        # while table-style consumers route all destinations of one source consecutively.
+        if self._knowledge_source == source and self._knowledge_graph is not None:
+            knowledge = self._knowledge_graph
+        else:
+            knowledge = self.advertised.graph.copy()
+            knowledge.add_node(source)
+            adjacency = self.network.graph.adj
+            for neighbor in adjacency[source]:
+                for other, attributes in adjacency[neighbor].items():
+                    knowledge.add_edge(neighbor, other, **attributes)
+            self._knowledge_source = source
+            self._knowledge_graph = knowledge
 
         route = best_path(knowledge, source, destination, self.metric)
         if not route.reachable or not self.metric.is_usable(route.value):

@@ -212,6 +212,27 @@ class TestParallelRunnerEquivalence:
             parallel.to_dict(), sort_keys=True
         )
 
+    @pytest.mark.parametrize(
+        ("experiment_id", "metric"),
+        [("fig8", BandwidthMetric()), ("fig9", DelayMetric())],
+        ids=["fig8-bandwidth", "fig9-delay"],
+    )
+    def test_overhead_sweep_with_env_workers_is_byte_identical_to_serial(
+        self, monkeypatch, experiment_id, metric
+    ):
+        """The fig-8/fig-9 sweeps through the REPRO_WORKERS=2 path must reproduce the
+        serial bytes exactly now that the workers carry warm per-trial caches (compact
+        graphs, bottleneck forests, incremental advertised topologies): every cache is
+        per-worker and per-trial, so nothing warm leaks across run indices."""
+        config = smoke_config(metric.name).with_overrides(runs=2)
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        serial = run_overhead_experiment(config, metric, experiment_id=experiment_id)
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        parallel = run_overhead_experiment(config, metric, experiment_id=experiment_id)
+        assert json.dumps(serial.to_dict(), sort_keys=True) == json.dumps(
+            parallel.to_dict(), sort_keys=True
+        )
+
     def test_workers_resolve_from_environment(self, monkeypatch):
         monkeypatch.delenv("REPRO_WORKERS", raising=False)
         assert resolve_workers() == 1

@@ -1,0 +1,292 @@
+"""Differential tests: every fast solver path against its retained networkx reference.
+
+The compact-graph solvers, the cached bottleneck forests and the incremental advertised
+topologies are pure-performance rewrites of straightforward networkx code, so the seed
+implementations are retained (the ``_*_nx`` module privates of
+:mod:`repro.localview.paths`, :func:`build_advertised_topology`) and this suite pins the
+fast paths to them on a corpus of seeded random unit-disk topologies -- the same
+deployment model the paper's evaluation uses -- across all metric families (bandwidth,
+delay, and a lexicographic composite that forces the generic solver).  In the style of
+Monte-Carlo simulation-validation suites, the comparison is exact equality of the full
+result objects, not statistical closeness: the caches and diffs are only allowed to make
+the computation faster, never different.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.core.selection import make_selector
+from repro.experiments.config import smoke_config
+from repro.experiments.overhead import run_overhead_experiment
+from repro.localview import LocalView, all_first_hops, best_values_from
+from repro.localview.paths import (
+    _all_first_hops_bottleneck_forest_nx,
+    _all_first_hops_owner_dijkstra_nx,
+    _best_values_from_nx,
+    _first_hops_to_nx,
+)
+from repro.metrics import BandwidthMetric, DelayMetric, LexicographicMetric
+from repro.routing.advertised import (
+    AdvertisedTopologyBuilder,
+    build_advertised_topology,
+    run_selection,
+)
+from repro.topology import FieldSpec, FixedCountNetworkGenerator
+
+TOPOLOGY_COUNT = 50
+
+from repro.metrics.base import AdditiveMetric
+
+
+class CongestionMetric(AdditiveMetric):
+    """An additive cost read off the ``bandwidth`` attribute (a second additive criterion
+    with values genuinely different from delay, so composite tuples are not degenerate)."""
+
+    name = "bandwidth"
+
+
+BANDWIDTH = BandwidthMetric()
+DELAY = DelayMetric()
+#: A composite mixing the families; overrides the whole metric protocol, forcing the
+#: generic solver paths, and is not prefix-optimal.
+COMPOSITE = LexicographicMetric([DelayMetric(), BandwidthMetric()])
+#: An all-additive composite: tuple-valued like COMPOSITE but prefix-optimal, so it is the
+#: one composite the owner-dijkstra propagation (its generic tuple branch) must handle.
+ADDITIVE_COMPOSITE = LexicographicMetric([DelayMetric(), CongestionMetric()], name="lex-additive")
+
+#: Metrics paired with the all-targets fast methods that are valid for them.  The mixed
+#: composite gets no single-pass method: it is not prefix-optimal (its concave component
+#: lets a suffix's ``min`` erase a prefix's disadvantage), so owner-dijkstra would
+#: under-report first-hop sets -- the exact bug this suite originally caught in the
+#: ``auto`` dispatch.  The all-additive composite IS prefix-optimal and exercises
+#: owner-dijkstra's generic tuple-valued tight-link branch.
+METHODS_BY_METRIC = (
+    (BANDWIDTH, ("per-target", "bottleneck-forest", "auto")),
+    (DELAY, ("per-target", "owner-dijkstra", "auto")),
+    (COMPOSITE, ("per-target", "auto")),
+    (ADDITIVE_COMPOSITE, ("per-target", "owner-dijkstra", "auto")),
+)
+
+
+def unit_disk_network(seed: int):
+    """One seeded random unit-disk topology with bandwidth and delay weights.
+
+    Small *integer-valued* weights serve two purposes: value ties (and therefore
+    multi-element first-hop sets) become likely, which is where the fast paths are easiest
+    to get wrong, and additive path sums are exact in binary floating point, so solvers
+    that accumulate a path's value from opposite ends (owner-rooted vs target-rooted) must
+    agree bit-for-bit rather than merely up to rounding.
+    """
+    network = FixedCountNetworkGenerator(
+        field=FieldSpec(width=320.0, height=320.0, radius=110.0),
+        node_count=22,
+        seed=seed,
+        restrict_to_largest_component=True,
+    ).generate()
+    rng = random.Random(seed * 7919 + 1)
+    for u, v in sorted(network.links()):
+        network.add_link(
+            u, v, bandwidth=float(rng.randint(1, 6)), delay=float(rng.randint(1, 6))
+        )
+    return network
+
+
+def _owners(network):
+    """A deterministic small owner sample spread over the node range."""
+    nodes = network.nodes()
+    return sorted({nodes[0], nodes[len(nodes) // 2], nodes[-1]})
+
+
+def _reference_first_hops(view, metric):
+    return {target: _first_hops_to_nx(view, target, metric) for target in view.known_targets()}
+
+
+_NX_TWINS = {
+    "owner-dijkstra": _all_first_hops_owner_dijkstra_nx,
+    "bottleneck-forest": _all_first_hops_bottleneck_forest_nx,
+}
+
+
+class TestFastSolversMatchNetworkxReferences:
+    @pytest.mark.parametrize("seed", range(TOPOLOGY_COUNT))
+    def test_all_methods_and_metrics_on_one_topology(self, seed):
+        """Every fast method equals the per-target reference AND its own networkx twin,
+        cold and warm (the second run answers from the cached compact graph and forest)."""
+        network = unit_disk_network(seed)
+        for owner in _owners(network):
+            view = LocalView.from_network(network, owner)
+            for metric, methods in METHODS_BY_METRIC:
+                reference = _reference_first_hops(view, metric)
+                for method in methods:
+                    cold = all_first_hops(view, metric, method=method)
+                    assert cold == reference, (seed, owner, metric.name, method)
+                    twin = _NX_TWINS.get(method)
+                    if twin is not None:
+                        assert cold == twin(view, metric), (seed, owner, metric.name, method)
+                    warm = all_first_hops(view, metric, method=method)
+                    assert warm == reference, (seed, owner, metric.name, method, "warm")
+
+    def test_owner_dijkstra_is_rejected_for_non_prefix_optimal_metrics(self):
+        """Mixed composites must not reach the tight-link propagation (found by this suite:
+        the auto dispatch used to send every ADDITIVE-kind metric, composites included, to
+        owner-dijkstra, silently dropping first hops whose path prefixes were suboptimal)."""
+        network = unit_disk_network(0)
+        view = LocalView.from_network(network, _owners(network)[0])
+        assert not COMPOSITE.prefix_optimal
+        with pytest.raises(ValueError):
+            all_first_hops(view, COMPOSITE, method="owner-dijkstra")
+        assert ADDITIVE_COMPOSITE.prefix_optimal  # exercised in METHODS_BY_METRIC above
+
+    @pytest.mark.parametrize("seed", range(0, TOPOLOGY_COUNT, 5))
+    def test_best_values_with_exclusions_match_reference(self, seed):
+        network = unit_disk_network(seed)
+        nodes = network.nodes()
+        source, excluded = nodes[0], (nodes[len(nodes) // 3],)
+        for metric in (BANDWIDTH, DELAY, COMPOSITE, ADDITIVE_COMPOSITE):
+            assert best_values_from(network.graph, source, metric, excluded) == (
+                _best_values_from_nx(network.graph, source, metric, excluded)
+            )
+
+    @pytest.mark.parametrize("seed", range(0, TOPOLOGY_COUNT, 5))
+    def test_warm_forest_cache_equals_fresh_view(self, seed):
+        """A view that has served many solves answers exactly like a freshly built one."""
+        network = unit_disk_network(seed)
+        owner = _owners(network)[0]
+        warm_view = LocalView.from_network(network, owner)
+        for _ in range(3):  # populate and exercise the compact-graph and forest caches
+            all_first_hops(warm_view, BANDWIDTH, method="bottleneck-forest")
+        fresh_view = LocalView.from_network(network, owner)
+        assert all_first_hops(warm_view, BANDWIDTH, method="bottleneck-forest") == (
+            all_first_hops(fresh_view, BANDWIDTH, method="bottleneck-forest")
+        )
+        assert warm_view._forest  # the warm path really did come from the cache
+
+
+class TestIncrementalAdvertisedTopologyMatchesFullRebuild:
+    @pytest.mark.parametrize("seed", range(0, TOPOLOGY_COUNT, 5))
+    def test_diffed_graph_equals_rebuilt_graph_across_selectors(self, seed):
+        """Cycling one builder through every selector (and back) always yields exactly the
+        graph a from-zero rebuild produces: same nodes, same edges, same attributes."""
+        network = unit_disk_network(seed)
+        metric = BANDWIDTH
+        views = LocalView.all_from_network(network)
+        builder = AdvertisedTopologyBuilder(network)
+        per_selector = {}
+        for name in ("qolsr-mpr2", "topology-filtering", "fnbp"):
+            per_selector[name] = run_selection(network, make_selector(name), metric, views=views)
+        # Forward pass, then revisit the first selector so the diff also runs "backwards".
+        for name in ("qolsr-mpr2", "topology-filtering", "fnbp", "qolsr-mpr2"):
+            incremental = builder.build(per_selector[name])
+            rebuilt = build_advertised_topology(network, per_selector[name])
+            assert incremental.ans_sets == rebuilt.ans_sets
+            assert set(incremental.graph.nodes) == set(rebuilt.graph.nodes)
+            incremental_edges = {
+                frozenset(edge): dict(incremental.graph.edges[edge])
+                for edge in incremental.graph.edges
+            }
+            rebuilt_edges = {
+                frozenset(edge): dict(rebuilt.graph.edges[edge]) for edge in rebuilt.graph.edges
+            }
+            assert incremental_edges == rebuilt_edges
+
+    def test_routing_over_a_stale_builder_topology_raises(self):
+        """The liveness contract is enforced, not just documented: once the builder is
+        re-targeted, a router still holding the earlier topology raises instead of silently
+        routing one selector's packets over another selector's edges."""
+        from repro.routing.hop_by_hop import HopByHopRouter
+
+        network = unit_disk_network(0)
+        metric = BANDWIDTH
+        views = LocalView.all_from_network(network)
+        builder = AdvertisedTopologyBuilder(network)
+        first = builder.build(run_selection(network, make_selector("fnbp"), metric, views=views))
+        router = HopByHopRouter(network, first, metric)
+        nodes = network.nodes()
+        assert router.link_state_route(nodes[0], nodes[-1]).delivered  # live: routes fine
+        builder.build(run_selection(network, make_selector("qolsr-mpr2"), metric, views=views))
+        with pytest.raises(RuntimeError):
+            router.link_state_route(nodes[0], nodes[-1])
+        with pytest.raises(RuntimeError):
+            router.next_hop(nodes[0], nodes[-1])
+        # Independently built topologies are never invalidated.
+        independent = build_advertised_topology(
+            network, run_selection(network, make_selector("fnbp"), metric, views=views)
+        )
+        independent.assert_live()
+
+    def test_builder_validates_unknown_links_like_the_full_build(self):
+        network = unit_disk_network(0)
+        nodes = network.nodes()
+        non_neighbor = next(
+            other for other in nodes if other != nodes[0] and not network.has_link(nodes[0], other)
+        )
+        builder = AdvertisedTopologyBuilder(network)
+        with pytest.raises(ValueError):
+            builder.build({nodes[0]: frozenset({non_neighbor})})
+
+
+class TestSweepsUnchangedByCaching:
+    def test_overhead_sweep_equals_cache_free_reference(self):
+        """The full fig-8 pipeline (selection -> incremental advertised topology -> cached
+        link-state routing) returns byte-identical results to a from-zero reference that
+        rebuilds every advertised topology and routes without any shared state."""
+        from repro.experiments.results import ExperimentResult, SeriesPoint
+        from repro.experiments.runner import build_trial
+        from repro.experiments.overhead import qos_overhead
+        from repro.experiments.stats import summarize
+        from repro.routing.hop_by_hop import HopByHopRouter
+        from repro.routing.optimal import optimal_route
+
+        config = smoke_config("bandwidth").with_overrides(runs=2)
+        metric = BANDWIDTH
+        fast = run_overhead_experiment(config, metric, experiment_id="fig8-diff")
+
+        reference = ExperimentResult(
+            experiment_id="fig8-diff",
+            title="QoS overhead vs the centralized optimum",
+            metric_name=metric.name,
+            x_label="density",
+            y_label=f"{metric.name} overhead",
+        )
+        overheads = {name: [] for name in config.selectors}
+        deliveries = {name: [] for name in config.selectors}
+        density = config.densities[0]
+        for run_index in range(config.runs):
+            trial = build_trial(config, metric, density, run_index)
+            if len(trial.network) < 2:
+                continue
+            routed = []
+            for source, destination in trial.sample_pairs(config.pairs_per_run):
+                optimal = optimal_route(trial.network, source, destination, metric)
+                if optimal.reachable and metric.is_usable(optimal.value):
+                    routed.append((source, destination, optimal.value))
+            for name in config.selectors:
+                advertised = build_advertised_topology(
+                    trial.network, make_selector(name).select_all(trial.network, metric)
+                )
+                router = HopByHopRouter(trial.network, advertised, metric)
+                for source, destination, optimal_value in routed:
+                    outcome = router.link_state_route(source, destination)
+                    deliveries[name].append(1.0 if outcome.delivered else 0.0)
+                    if outcome.delivered:
+                        overheads[name].append(qos_overhead(metric, outcome.value, optimal_value))
+        for name in config.selectors:
+            delivery = summarize(deliveries[name])
+            reference.add_point(
+                name,
+                SeriesPoint(
+                    density=density,
+                    summary=summarize(overheads[name]),
+                    extra={"delivery_ratio": delivery.mean, "attempts": float(delivery.count)},
+                ),
+            )
+
+        fast_dict = fast.to_dict()
+        fast_dict.pop("notes", None)
+        reference_dict = reference.to_dict()
+        reference_dict.pop("notes", None)
+        assert json.dumps(fast_dict, sort_keys=True) == json.dumps(reference_dict, sort_keys=True)

@@ -106,3 +106,74 @@ class TestFromTables:
         graph.add_node(1)
         with pytest.raises(ValueError):
             LocalView(owner=0, one_hop={1}, two_hop=set(), graph=graph)
+
+
+class TestCacheInvalidation:
+    """The view's derived caches (compact graphs, bottleneck forests) vs link mutation."""
+
+    def _network(self):
+        return Network.from_links(
+            {
+                (0, 1): {"bandwidth": 5.0, "delay": 2.0},
+                (1, 2): {"bandwidth": 3.0, "delay": 1.0},
+                (0, 2): {"bandwidth": 1.0, "delay": 9.0},
+                (2, 3): {"bandwidth": 4.0, "delay": 3.0},
+            }
+        )
+
+    def test_update_link_drops_compact_graph_and_forest_caches(self):
+        from repro.localview import all_first_hops
+        from repro.metrics import DelayMetric
+
+        view = LocalView.from_network(self._network(), 0)
+        bandwidth, delay = BandwidthMetric(), DelayMetric()
+        all_first_hops(view, bandwidth)
+        all_first_hops(view, delay)
+        stale_compact = view.compact_graph(bandwidth)
+        stale_forest = view.bottleneck_forest(bandwidth)
+        assert view._compact and view._forest
+
+        view.update_link(0, 1, bandwidth=0.5)
+
+        assert not view._compact and not view._forest  # both caches dropped eagerly
+        rebuilt = view.compact_graph(bandwidth)
+        assert rebuilt is not stale_compact
+        assert view.bottleneck_forest(bandwidth) is not stale_forest
+        row = dict(rebuilt.adj[rebuilt.index[0]])
+        assert row[rebuilt.index[1]] == 0.5
+
+    def test_requery_after_mutation_reflects_the_new_weight(self):
+        """The regression this guards: before invalidation existed, a mutated link kept
+        being answered from the stale cached forest."""
+        from repro.localview import all_first_hops
+
+        view = LocalView.from_network(self._network(), 0)
+        metric = BandwidthMetric()
+        before = all_first_hops(view, metric)
+        assert before[1].best_value == 5.0
+        view.update_link(0, 1, bandwidth=0.25)  # direct link now worse than the detour
+        after = all_first_hops(view, metric)
+        assert after[1].best_value == 1.0  # 0-2-1 (min(1, 3)) beats the degraded direct link
+        assert after[1].first_hops == frozenset({2})
+        fresh = LocalView(owner=0, one_hop=view.one_hop, two_hop=view.two_hop, graph=view.graph.copy())
+        assert after == all_first_hops(fresh, metric)
+
+    def test_update_link_unshares_attribute_dicts_between_sibling_views(self):
+        """Batch-built views share link-attribute dictionaries; a mutation through one view
+        must stay local to it (other nodes learn of new measurements via the protocol, not
+        via shared memory) and must not silently corrupt the siblings' caches."""
+        views = LocalView.all_from_network(self._network())
+        metric = BandwidthMetric()
+        sibling = views[1]
+        sibling_before = sibling.compact_graph(metric)
+
+        views[0].update_link(0, 1, bandwidth=9.0)
+
+        assert views[0].link_value(0, 1, metric) == 9.0
+        assert sibling.link_value(0, 1, metric) == 5.0  # untouched
+        assert sibling.compact_graph(metric) is sibling_before  # its cache is still valid
+
+    def test_update_link_rejects_unknown_links(self):
+        view = LocalView.from_network(self._network(), 0)
+        with pytest.raises(KeyError):
+            view.update_link(0, 99, bandwidth=1.0)

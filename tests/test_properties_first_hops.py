@@ -95,6 +95,61 @@ def test_first_hop_sets_satisfy_their_defining_property(network, owner_index):
 
 @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 @given(network=random_weighted_networks(), owner_index=st.integers(min_value=0, max_value=11))
+def test_first_hops_are_always_one_hop_neighbors(network, owner_index):
+    """``fP(u, v)`` is by definition a subset of ``N(u)``, under every method and metric."""
+    owner = sorted(network.nodes())[owner_index % len(network.nodes())]
+    view = LocalView.from_network(network, owner)
+    for metric in METRICS:
+        for method in ("auto", "per-target"):
+            for result in all_first_hops(view, metric, method=method).values():
+                assert result.first_hops <= view.one_hop
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(network=random_weighted_networks(), owner_index=st.integers(min_value=0, max_value=11))
+def test_concave_best_values_respect_the_direct_link_bottleneck_bound(network, owner_index):
+    """A bottleneck path's value can never exceed its first link: for every first hop ``n``
+    of a concave-optimal path, ``best_value <= w(u, n)`` (up to the metric's tolerance)."""
+    metric = BandwidthMetric()
+    owner = sorted(network.nodes())[owner_index % len(network.nodes())]
+    view = LocalView.from_network(network, owner)
+    for result in all_first_hops(view, metric).values():
+        for neighbor in result.first_hops:
+            direct = view.direct_link_value(neighbor, metric)
+            assert metric.is_better_or_equal(direct, result.best_value)
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    network=random_weighted_networks(),
+    owner_index=st.integers(min_value=0, max_value=11),
+    new_bandwidth=st.integers(min_value=1, max_value=9),
+    new_delay=st.integers(min_value=1, max_value=9),
+)
+def test_cached_forest_answers_equal_fresh_ones_after_mutation(
+    network, owner_index, new_bandwidth, new_delay
+):
+    """Warming the caches, mutating a link through the sanctioned path, and re-querying
+    must give exactly the answers a cache-free view of the mutated graph gives."""
+    owner = sorted(network.nodes())[owner_index % len(network.nodes())]
+    view = LocalView.from_network(network, owner)
+    for metric in METRICS:  # warm the compact-graph and bottleneck-forest caches
+        all_first_hops(view, metric)
+    u = owner
+    v = sorted(view.one_hop)[0]
+    view.update_link(u, v, bandwidth=float(new_bandwidth), delay=float(new_delay))
+    pristine = LocalView(
+        owner=owner, one_hop=view.one_hop, two_hop=view.two_hop, graph=view.graph.copy()
+    )
+    for metric in METRICS:
+        assert all_first_hops(view, metric) == all_first_hops(pristine, metric)
+        assert all_first_hops(view, metric, method="per-target") == all_first_hops(
+            pristine, metric, method="per-target"
+        )
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(network=random_weighted_networks(), owner_index=st.integers(min_value=0, max_value=11))
 def test_best_value_in_view_never_beats_global_optimum(network, owner_index):
     """A node's local view is a subgraph of the truth, so its best values cannot exceed the
     network-wide optimum (the paper's Figure 2 argument about localized algorithms)."""
