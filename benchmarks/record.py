@@ -27,6 +27,13 @@ if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.core.selection import make_selector  # noqa: E402
+from repro.experiments.config import SweepConfig  # noqa: E402
+from repro.experiments.engine import run_experiment  # noqa: E402
+from repro.experiments.measures import _ans_size_trial  # noqa: E402
+from repro.experiments.results import ExperimentResult, SeriesPoint  # noqa: E402
+from repro.experiments.runner import build_trial  # noqa: E402
+from repro.experiments.spec import ExperimentSpec  # noqa: E402
+from repro.experiments.stats import summarize  # noqa: E402
 from repro.localview import LocalView, all_first_hops  # noqa: E402
 from repro.localview.paths import (  # noqa: E402
     _all_first_hops_bottleneck_forest_nx,
@@ -161,6 +168,77 @@ def record_advertised_topology(rounds: int) -> dict:
     }
 
 
+def _legacy_ans_size_sweep(config: SweepConfig, metric) -> ExperimentResult:
+    """The pre-redesign direct-call harness, kept inline as the benchmark reference.
+
+    This replicates what ``run_ans_size_experiment`` did before the spec/registry/sink
+    redesign -- a hand-written loop with no spec validation, no registry resolution beyond
+    the selector lookups the old code also performed, and no sink events -- playing the
+    same role as the retained ``_*_nx`` solver implementations: a baseline that makes any
+    dispatch overhead of the generic engine machine-visible.
+    """
+    result = ExperimentResult(
+        experiment_id="bench",
+        title="Size of the advertised set",
+        metric_name=metric.name,
+        x_label="density",
+        y_label="advertised neighbors per node",
+    )
+    per_selector = {name: {density: [] for density in config.densities} for name in config.selectors}
+    for density in config.densities:
+        for run_index in range(config.runs):
+            payload = _ans_size_trial(build_trial(config, metric, density, run_index))
+            for selector_name, sizes in payload["sizes"].items():
+                per_selector[selector_name][density].extend(sizes)
+    for selector_name in config.selectors:
+        for density in config.densities:
+            summary = summarize(per_selector[selector_name][density])
+            result.add_point(selector_name, SeriesPoint(density=density, summary=summary))
+    if config.node_sample is not None:
+        result.add_note(f"averaged over a sample of up to {config.node_sample} nodes per topology")
+    result.add_note(f"{config.runs} run(s) per density; seed={config.seed}")
+    return result
+
+
+def record_engine_dispatch(rounds: int) -> dict:
+    """Generic spec/registry engine vs the legacy direct-call harness on one small sweep.
+
+    One timed round runs a complete single-density advertised-set sweep (trial generation
+    dominates; the delta between the two paths is exactly the spec validation, registry
+    resolution, measure indirection and sink event dispatch the redesign added).  The
+    results of both paths are asserted identical before timing.
+    """
+    config = SweepConfig(
+        densities=(8.0,),
+        runs=1,
+        pairs_per_run=2,
+        node_sample=20,
+        field=FieldSpec(width=400.0, height=400.0, radius=100.0),
+        seed=42,
+    )
+    metric = BandwidthMetric()
+    spec = ExperimentSpec.from_config(
+        config,
+        experiment_id="bench",
+        title="Size of the advertised set",
+        measure="ans-size",
+        metric="bandwidth",
+    )
+    engine_result = run_experiment(spec)
+    legacy_result = _legacy_ans_size_sweep(config, metric)
+    if engine_result.to_dict() != legacy_result.to_dict():
+        raise AssertionError("generic engine and legacy direct harness disagree")
+
+    engine_timing = time_case(lambda: run_experiment(spec), rounds)
+    direct_timing = time_case(lambda: _legacy_ans_size_sweep(config, metric), rounds)
+    return {
+        "config": {"densities": list(config.densities), "runs": config.runs, "node_sample": config.node_sample},
+        "spec_engine": engine_timing,
+        "direct": direct_timing,
+        "dispatch_overhead_ratio": engine_timing["min_s"] / direct_timing["min_s"],
+    }
+
+
 def record(rounds: int) -> dict:
     view = dense_view()
     targets = len(view.known_targets())
@@ -188,6 +266,7 @@ def record(rounds: int) -> dict:
         "speedup_vs_networkx": speedups,
         "forest_cache": record_forest_cache(view, rounds),
         "advertised_topology": record_advertised_topology(max(5, rounds // 4)),
+        "engine_dispatch": record_engine_dispatch(max(5, rounds // 4)),
     }
 
 
@@ -218,6 +297,12 @@ def main(argv=None) -> int:
         f"advertised topology: rebuild {advertised['rebuild']['min_s'] * 1e3:.3f} ms  "
         f"incremental {advertised['incremental']['min_s'] * 1e3:.3f} ms  "
         f"({advertised['incremental_speedup']:.2f}x)"
+    )
+    dispatch = payload["engine_dispatch"]
+    print(
+        f"engine dispatch: spec engine {dispatch['spec_engine']['min_s'] * 1e3:.3f} ms  "
+        f"direct {dispatch['direct']['min_s'] * 1e3:.3f} ms  "
+        f"(overhead {dispatch['dispatch_overhead_ratio']:.3f}x)"
     )
     print(f"wrote {args.output}")
     return 0

@@ -14,8 +14,10 @@ from repro.core.selection import AnsSelector, SelectionDecision, SelectionResult
 from repro.localview.view import LocalView
 from repro.metrics.base import Metric
 from repro.olsr.mpr import rfc3626_mpr
+from repro.registry import SELECTORS
 
 
+@SELECTORS.register("olsr-mpr", description="plain RFC 3626 MPR selection (QoS-unaware)")
 @dataclass
 class OlsrMprSelector(AnsSelector):
     """Plain RFC 3626 MPR selection used as the advertised set (QoS-unaware)."""

@@ -27,6 +27,7 @@ from repro.core.selection import AnsSelector, SelectionDecision, SelectionResult
 from repro.localview.view import LocalView
 from repro.metrics.base import Metric
 from repro.olsr.mpr import coverage_map
+from repro.registry import SELECTORS
 from repro.utils.ids import NodeId
 
 
@@ -102,6 +103,7 @@ class _QolsrBase(AnsSelector):
         raise NotImplementedError
 
 
+@SELECTORS.register("qolsr-mpr1", description="QOLSR MPR-1: coverage first, direct-link QoS tie-break")
 @dataclass
 class QolsrMpr1Selector(_QolsrBase):
     """QOLSR MPR-1: coverage first, direct-link QoS as the tie-breaker."""
@@ -117,6 +119,7 @@ class QolsrMpr1Selector(_QolsrBase):
         return "greedy-coverage-qos-tiebreak"
 
 
+@SELECTORS.register("qolsr-mpr2", description="QOLSR MPR-2 (the evaluation's baseline): QoS first, coverage tie-break")
 @dataclass
 class QolsrMpr2Selector(_QolsrBase):
     """QOLSR MPR-2 (the evaluation's baseline): direct-link QoS first, coverage as tie-breaker."""

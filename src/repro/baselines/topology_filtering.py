@@ -23,9 +23,11 @@ from repro.core.selection import AnsSelector, SelectionDecision, SelectionResult
 from repro.localview.rng import qos_rng_reduce
 from repro.localview.view import LocalView
 from repro.metrics.base import Metric
+from repro.registry import SELECTORS
 from repro.utils.ids import NodeId
 
 
+@SELECTORS.register("topology-filtering", description="QANS selection by RNG-based topology filtering")
 @dataclass
 class TopologyFilteringSelector(AnsSelector):
     """QANS selection by RNG-based topology filtering.

@@ -36,6 +36,7 @@ from repro.localview.paths import FirstHopResult, all_first_hops
 from repro.localview.view import LocalView
 from repro.metrics.base import Metric
 from repro.metrics.ordering import preferred_neighbor
+from repro.registry import SELECTORS
 from repro.utils.ids import NodeId
 
 
@@ -82,6 +83,7 @@ class LoopGuardPolicy(Enum):
     """No guard at all (skip lines 12-14).  Kept as an ablation to demonstrate the loop."""
 
 
+@SELECTORS.register("fnbp", description="the paper's FNBP QANS selection")
 @dataclass
 class FnbpSelector(AnsSelector):
     """The paper's FNBP QANS selection.
@@ -221,3 +223,22 @@ class FnbpSelector(AnsSelector):
         chosen = preferred_neighbor(preferred_pool, metric, direct_value)
         ans.add(chosen)
         return SelectionDecision(target, chosen, "loop-guard-selected-relay", detail + (("relay", chosen),))
+
+
+#: The ablation variants ship under their own registry names so that specs and the
+#: ``repro-sweep`` CLI can refer to them directly.
+SELECTORS.register(
+    "fnbp-literal-guard",
+    lambda: FnbpSelector(loop_guard=LoopGuardPolicy.LITERAL),
+    description="FNBP with the paper's literal (typo-ridden) loop-guard pseudocode",
+)
+SELECTORS.register(
+    "fnbp-no-guard",
+    lambda: FnbpSelector(loop_guard=LoopGuardPolicy.OFF),
+    description="FNBP without the loop guard (ablation; can strand two-hop neighbors)",
+)
+SELECTORS.register(
+    "fnbp-two-hop-only",
+    lambda: FnbpSelector(cover_one_hop=False),
+    description="FNBP covering two-hop neighbors only (ablation of step 1)",
+)

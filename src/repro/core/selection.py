@@ -15,6 +15,7 @@ from typing import Callable, Dict, FrozenSet, Iterable, Optional, Tuple
 
 from repro.localview.view import LocalView
 from repro.metrics.base import Metric
+from repro.registry import SELECTORS
 from repro.utils.ids import NodeId
 
 
@@ -107,49 +108,22 @@ class AnsSelector(ABC):
         return f"{type(self).__name__}(name={self.name!r})"
 
 
-#: Factories for the selectors shipped with the library, keyed by registry name.
-_SELECTOR_FACTORIES: Dict[str, Callable[[], AnsSelector]] = {}
-
-
 def register_selector(name: str, factory: Callable[[], AnsSelector]) -> None:
-    """Register a selector factory under ``name`` (last registration wins)."""
-    _SELECTOR_FACTORIES[name] = factory
+    """Register a selector factory under ``name`` (last registration wins).
 
-
-def _ensure_builtin_selectors() -> None:
-    """Register the library's built-in selectors on first use.
-
-    Registration is lazy (triggered by :func:`available_selectors` / :func:`make_selector`)
-    because the built-in selectors live in modules that themselves import this one.
+    Thin wrapper over the unified :data:`repro.registry.SELECTORS` registry, kept for
+    backward compatibility; new code can register through the registry's decorator
+    directly (see :mod:`repro.registry`).  The built-in selectors register themselves in
+    their defining modules and are loaded lazily on first lookup.
     """
-    if _SELECTOR_FACTORIES:
-        return
-    from repro.baselines.olsr_mpr import OlsrMprSelector
-    from repro.baselines.qolsr import QolsrMpr1Selector, QolsrMpr2Selector
-    from repro.baselines.topology_filtering import TopologyFilteringSelector
-    from repro.core.fnbp import FnbpSelector, LoopGuardPolicy
-
-    register_selector("fnbp", FnbpSelector)
-    register_selector("fnbp-literal-guard", lambda: FnbpSelector(loop_guard=LoopGuardPolicy.LITERAL))
-    register_selector("fnbp-no-guard", lambda: FnbpSelector(loop_guard=LoopGuardPolicy.OFF))
-    register_selector("fnbp-two-hop-only", lambda: FnbpSelector(cover_one_hop=False))
-    register_selector("olsr-mpr", OlsrMprSelector)
-    register_selector("qolsr-mpr1", QolsrMpr1Selector)
-    register_selector("qolsr-mpr2", QolsrMpr2Selector)
-    register_selector("topology-filtering", TopologyFilteringSelector)
+    SELECTORS.register(name, factory)
 
 
 def available_selectors() -> list[str]:
     """Names of every registered selector."""
-    _ensure_builtin_selectors()
-    return sorted(_SELECTOR_FACTORIES)
+    return SELECTORS.names()
 
 
 def make_selector(name: str) -> AnsSelector:
     """Instantiate the selector registered under ``name``."""
-    _ensure_builtin_selectors()
-    try:
-        factory = _SELECTOR_FACTORIES[name]
-    except KeyError as exc:
-        raise KeyError(f"unknown selector {name!r}; known: {available_selectors()}") from exc
-    return factory()
+    return SELECTORS.create(name)

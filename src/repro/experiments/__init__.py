@@ -1,4 +1,14 @@
-"""The evaluation harness: density sweeps reproducing the paper's Figures 6-9."""
+"""The evaluation harness: spec-driven density sweeps, with the paper's Figures 6-9 as presets.
+
+The scenario API in one sentence: a frozen, JSON-round-trippable
+:class:`~repro.experiments.spec.ExperimentSpec` names every ingredient of a sweep (measure
+kind, metric, selectors, topology model -- all resolved against the unified registries in
+:mod:`repro.registry`), the generic :func:`~repro.experiments.engine.run_experiment` engine
+executes any spec, and results stream through
+:class:`~repro.experiments.sinks.ResultSink` consumers (text report, JSON, incremental
+JSONL checkpoints, progress lines) besides materializing an
+:class:`~repro.experiments.results.ExperimentResult`.
+"""
 
 from repro.experiments.ans_size import run_ans_size_experiment
 from repro.experiments.config import (
@@ -20,13 +30,38 @@ from repro.experiments.figures import (
     run_all_figures,
     run_figure,
 )
+from repro.experiments.engine import run_experiment
+from repro.experiments.measures import AnsSizeMeasure, Measure, OverheadMeasure
 from repro.experiments.overhead import qos_overhead, run_overhead_experiment
+from repro.experiments.presets import FIGURE_PRESETS, figure_spec
 from repro.experiments.reporting import render_report, write_json, write_report
 from repro.experiments.results import ExperimentResult, Series, SeriesPoint
 from repro.experiments.runner import Trial, build_trial, iter_trials
+from repro.experiments.sinks import (
+    JsonlSink,
+    JsonSink,
+    MemorySink,
+    ProgressSink,
+    ResultSink,
+    TextReportSink,
+)
+from repro.experiments.spec import ExperimentSpec
 from repro.experiments.stats import Summary, summarize
 
 __all__ = [
+    "ExperimentSpec",
+    "run_experiment",
+    "Measure",
+    "AnsSizeMeasure",
+    "OverheadMeasure",
+    "ResultSink",
+    "ProgressSink",
+    "MemorySink",
+    "TextReportSink",
+    "JsonSink",
+    "JsonlSink",
+    "FIGURE_PRESETS",
+    "figure_spec",
     "SweepConfig",
     "paper_config",
     "quick_config",

@@ -1,35 +1,22 @@
-"""Advertised-set size experiment (the paper's Figures 6 and 7).
+"""Advertised-set size experiment (the paper's Figures 6 and 7) -- legacy entry point.
 
-For every density and every protocol, measure the mean number of neighbors a node has to
-advertise in its TC messages: the MPR set for original QOLSR (which uses a single set for
-flooding and routing) and the QANS for topology filtering and FNBP (which keep the RFC 3626
-MPR set separately for flooding).  The paper's headline observations, which the benchmark
-suite checks qualitatively, are that FNBP's set is the smallest and stays roughly constant
-with density while QOLSR's keeps growing.
+The measurement and aggregation logic lives in
+:class:`repro.experiments.measures.AnsSizeMeasure` (registry name ``"ans-size"``) and runs
+through the generic spec-driven engine; :func:`run_ans_size_experiment` is kept as a thin
+wrapper over :func:`repro.experiments.engine.run_experiment` for callers that still hold a
+:class:`SweepConfig` and a :class:`Metric` instance.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Optional
 
 from repro.experiments.config import SweepConfig
-from repro.experiments.results import ExperimentResult, SeriesPoint
-from repro.experiments.runner import Trial, map_trials
-from repro.experiments.stats import summarize
+from repro.experiments.engine import run_experiment
+from repro.experiments.measures import AnsSizeMeasure, _ans_size_trial  # noqa: F401  (re-export)
+from repro.experiments.results import ExperimentResult
+from repro.experiments.spec import ExperimentSpec
 from repro.metrics import Metric
-
-
-def _ans_size_trial(trial: Trial) -> dict:
-    """Per-trial measurement: advertised-set sizes per selector (runs in a worker under the
-    parallel path, so it must return plain picklable data)."""
-    if len(trial.network) == 0:
-        return {"node_count": 0, "sizes": {}}
-    sampled = set(trial.sample_nodes(trial.config.node_sample, "ans-size-sample"))
-    sizes: Dict[str, List[float]] = {}
-    for selector_name in trial.config.selectors:
-        selections = _selections_for_sample(trial, selector_name, sampled)
-        sizes[selector_name] = [float(len(selection.selected)) for selection in selections]
-    return {"node_count": len(trial.network), "sizes": sizes}
 
 
 def run_ans_size_experiment(
@@ -47,52 +34,7 @@ def run_ans_size_experiment(
     environment variable) fans the trials of each density out over worker processes; the
     results are aggregated in run order either way, so the output is identical.
     """
-    result = ExperimentResult(
-        experiment_id=experiment_id,
-        title=title,
-        metric_name=metric.name,
-        x_label="density",
-        y_label="advertised neighbors per node",
+    spec = ExperimentSpec.from_config(
+        config, experiment_id=experiment_id, title=title, measure="ans-size", metric=metric.name
     )
-    per_selector_sizes: dict[str, dict[float, list[float]]] = {
-        name: {density: [] for density in config.densities} for name in config.selectors
-    }
-
-    for density in config.densities:
-
-        def on_result(run_index: int, payload: dict) -> None:
-            if progress is not None and payload["node_count"] > 0:
-                progress(
-                    f"[{experiment_id}] density={density:g} run={run_index + 1}/{config.runs} "
-                    f"nodes={payload['node_count']}"
-                )
-
-        payloads = map_trials(
-            config, metric, density, _ans_size_trial, workers=workers, on_result=on_result
-        )
-        for payload in payloads:
-            for selector_name, sizes in payload["sizes"].items():
-                per_selector_sizes[selector_name][density].extend(sizes)
-
-    for selector_name in config.selectors:
-        for density in config.densities:
-            summary = summarize(per_selector_sizes[selector_name][density])
-            result.add_point(selector_name, SeriesPoint(density=density, summary=summary))
-
-    if config.node_sample is not None:
-        result.add_note(f"averaged over a sample of up to {config.node_sample} nodes per topology")
-    result.add_note(f"{config.runs} run(s) per density; seed={config.seed}")
-    return result
-
-
-def _selections_for_sample(trial, selector_name: str, sampled: set) -> Sequence:
-    """Selection results for the sampled nodes only (avoids running selectors network-wide).
-
-    The trial's views -- and with them the per-metric compact-graph and bottleneck-forest
-    caches -- are shared across every selector of the sweep.
-    """
-    from repro.core.selection import make_selector
-
-    selector = make_selector(selector_name)
-    views = trial.views()
-    return [selector.select(views[node], trial.metric) for node in sorted(sampled)]
+    return run_experiment(spec, workers=workers, metric=metric, progress=progress)

@@ -4,18 +4,29 @@ Installed as ``repro-figures`` (see ``pyproject.toml``).  Examples::
 
     repro-figures --figure 6 --profile quick
     repro-figures --all --profile paper --runs 100 --output results.txt --json results.json
+    repro-figures --figure 7 --profile smoke --densities 5,8 --node-sample 30
+
+This is a thin preset wrapper over the generic spec-driven engine: each figure is a
+registered :class:`~repro.experiments.spec.ExperimentSpec` preset (so the metric of a
+figure comes from its preset, not from a figure-number dispatch), narrowed to the chosen
+profile and overrides, and the file outputs flow through the streaming sink API
+(:mod:`repro.experiments.sinks`).  Arbitrary non-figure sweeps belong to ``repro-sweep``
+(:mod:`repro.experiments.sweep_cli`).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.experiments.config import config_for_profile
 from repro.experiments.figures import FIGURES, run_figure
-from repro.experiments.reporting import render_report, write_json, write_report
+from repro.experiments.presets import figure_spec
+from repro.experiments.reporting import render_report
 from repro.experiments.results import ExperimentResult
+from repro.experiments.sinks import JsonSink, ResultSink, TextReportSink
+from repro.experiments.sweep_cli import parse_densities, parse_node_sample, NODE_SAMPLE_UNSET
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -35,6 +46,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--runs", type=int, default=None, help="override the number of runs per density")
     parser.add_argument("--pairs", type=int, default=None, help="override source/destination pairs per run")
     parser.add_argument("--seed", type=int, default=None, help="override the root random seed")
+    parser.add_argument(
+        "--densities",
+        type=parse_densities,
+        default=None,
+        help="override the swept densities (comma-separated, e.g. 10,15,20)",
+    )
+    parser.add_argument(
+        "--node-sample",
+        type=parse_node_sample,
+        default=NODE_SAMPLE_UNSET,
+        help="override nodes sampled per topology in the set-size figures (0 or 'all' = every node)",
+    )
     parser.add_argument(
         "--workers",
         type=int,
@@ -57,6 +80,10 @@ def _config_for(args: argparse.Namespace, metric_name: str):
         overrides["pairs_per_run"] = args.pairs
     if args.seed is not None:
         overrides["seed"] = args.seed
+    if args.densities is not None:
+        overrides["densities"] = args.densities
+    if args.node_sample is not NODE_SAMPLE_UNSET:
+        overrides["node_sample"] = args.node_sample
     return config.with_overrides(**overrides) if overrides else config
 
 
@@ -64,19 +91,28 @@ def main(argv: Optional[list[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     progress = None if args.quiet else lambda message: print(message, file=sys.stderr)
 
+    header = f"profile={args.profile}"
+    sinks: List[ResultSink] = []
+    if args.output:
+        sinks.append(TextReportSink(args.output, header=header))
+    if args.json_output:
+        sinks.append(JsonSink(args.json_output))
+
     figure_numbers = sorted(FIGURES) if args.all else [args.figure]
     results: Dict[int, ExperimentResult] = {}
     for number in figure_numbers:
-        metric_name = "bandwidth" if number in (6, 8) else "delay"
-        config = _config_for(args, metric_name)
+        # The figure's metric comes from its registered spec preset.
+        config = _config_for(args, figure_spec(number).metric)
         results[number] = run_figure(number, config, progress=progress, workers=args.workers)
+        for sink in sinks:
+            sink.on_result(results[number])
+    # The report sinks buffer and write at close; closing only after every figure
+    # succeeded means a failed run never clobbers existing output files with a partial
+    # report (the pre-sink CLI had the same all-or-nothing behavior).
+    for sink in sinks:
+        sink.close()
 
-    report = render_report(results, header=f"profile={args.profile}")
-    print(report)
-    if args.output:
-        write_report(results, args.output, header=f"profile={args.profile}")
-    if args.json_output:
-        write_json(results, args.json_output)
+    print(render_report(results, header=header))
     return 0
 
 

@@ -51,6 +51,9 @@ class SweepConfig:
         Root seed; every topology, weight and pair draw is derived from it deterministically.
     selectors:
         Registry names of the selection algorithms to compare.
+    topology:
+        Registry name of the topology model trials are generated from (the paper's Poisson
+        deployment by default; see :data:`repro.registry.TOPOLOGY_MODELS`).
     """
 
     densities: Tuple[float, ...] = BANDWIDTH_DENSITIES
@@ -62,6 +65,7 @@ class SweepConfig:
     weight_high: float = 10.0
     seed: int = 42
     selectors: Tuple[str, ...] = PAPER_SELECTORS
+    topology: str = "poisson"
 
     def __post_init__(self) -> None:
         if not self.densities:
@@ -75,6 +79,8 @@ class SweepConfig:
         require_positive(self.weight_high, "weight_high")
         if self.weight_low <= 0 or self.weight_low > self.weight_high:
             raise ValueError("weights must satisfy 0 < weight_low <= weight_high")
+        if not self.topology or not isinstance(self.topology, str):
+            raise ValueError(f"topology must be a registry name, got {self.topology!r}")
 
     def with_overrides(self, **overrides) -> "SweepConfig":
         """A copy of the configuration with the given fields replaced."""

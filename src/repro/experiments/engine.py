@@ -1,0 +1,92 @@
+"""The generic, spec-driven experiment engine.
+
+:func:`run_experiment` executes any :class:`~repro.experiments.spec.ExperimentSpec` -- it
+resolves the spec's registry names (measure kind, metric, topology model, selectors; see
+:mod:`repro.registry`), fans each density's trials over the runner (serially or across
+``REPRO_WORKERS`` processes, bit-identically either way), folds the trial payloads through
+the measure's streaming aggregation, and emits the event stream to any number of
+:class:`~repro.experiments.sinks.ResultSink` instances.  It subsumes what used to be two
+near-identical hand-written harnesses (``run_ans_size_experiment`` and
+``run_overhead_experiment``, now thin wrappers): every figure preset, every
+``repro-sweep`` invocation and every future measure kind runs through this one function.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.experiments.results import ExperimentResult, SeriesPoint
+from repro.experiments.runner import map_trials
+from repro.experiments.sinks import ProgressSink, ResultSink
+from repro.experiments.spec import ExperimentSpec
+from repro.metrics.base import Metric
+from repro.registry import MEASURES, METRICS
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    sinks: Iterable[ResultSink] = (),
+    workers: Optional[int] = None,
+    metric: Optional[Metric] = None,
+    progress: Optional[callable] = None,
+) -> ExperimentResult:
+    """Run the sweep described by ``spec`` and return its :class:`ExperimentResult`.
+
+    ``sinks`` receive the streaming events (see the contract in
+    :mod:`repro.experiments.sinks`); the engine does not close them.  ``workers`` (default:
+    the ``REPRO_WORKERS`` environment variable) fans the trials of each density out over
+    worker processes; aggregation happens in run order either way, so the output is
+    identical to a serial run.  ``metric`` overrides the spec's metric name with a
+    ready-made instance (the legacy wrappers use this; normally the metric is resolved
+    from the registry).  ``progress`` is a legacy convenience: a callable receiving one
+    human-readable line per trial, wrapped in a :class:`ProgressSink`.
+    """
+    spec.validate_names(require_metric=metric is None)
+    measure = MEASURES.create(spec.measure)
+    if metric is None:
+        metric = METRICS.create(spec.metric)
+    sinks = list(sinks)
+    if progress is not None:
+        sinks.append(ProgressSink(progress))
+
+    config = spec.sweep_config()
+    result = ExperimentResult(
+        experiment_id=spec.experiment_id,
+        title=spec.title,
+        metric_name=metric.name,
+        x_label=measure.x_label,
+        y_label=measure.y_label(metric),
+    )
+
+    for sink in sinks:
+        sink.on_sweep_start(spec)
+
+    state = measure.start(spec)
+    per_trial = measure.per_trial()
+    per_density: Dict[float, Dict[str, SeriesPoint]] = {}
+    for density in spec.densities:
+
+        def on_result(run_index: int, payload: dict, density: float = density) -> None:
+            message = measure.progress_line(spec.experiment_id, spec.runs, density, run_index, payload)
+            for sink in sinks:
+                sink.on_trial(spec, density, run_index, payload, message)
+
+        payloads = map_trials(config, metric, density, per_trial, workers=workers, on_result=on_result)
+        for payload in payloads:
+            measure.consume(state, density, payload)
+        points = measure.density_points(state, spec, density)
+        per_density[density] = points
+        for sink in sinks:
+            sink.on_density(spec, density, points)
+
+    # Assemble the monolithic result in the classic order (selector-major, density-minor),
+    # which keeps its tables and JSON byte-identical to the pre-engine harnesses.
+    for selector_name in spec.selectors:
+        for density in spec.densities:
+            result.add_point(selector_name, per_density[density][selector_name])
+    for note in measure.notes(spec):
+        result.add_note(note)
+
+    for sink in sinks:
+        sink.on_result(result)
+    return result

@@ -9,20 +9,22 @@ Figure  What it shows                                          Metric      Harne
 9       delay overhead vs the centralized optimum              delay       :func:`figure9`
 ======  =====================================================  ==========  ==============
 
-Each function accepts an explicit :class:`SweepConfig` or a profile name (``"paper"``,
-``"quick"``, ``"smoke"``) and returns an :class:`ExperimentResult` whose text table is what
-``EXPERIMENTS.md`` records and what the CLI prints.
+Each figure is a registered spec preset (:mod:`repro.experiments.presets`) narrowed to the
+requested profile and executed by the generic engine
+(:func:`repro.experiments.engine.run_experiment`); the functions here are thin wrappers
+kept for API compatibility.  Each accepts an explicit :class:`SweepConfig` or a profile
+name (``"paper"``, ``"quick"``, ``"smoke"``) and returns an :class:`ExperimentResult`
+whose text table is what ``EXPERIMENTS.md`` records and what the CLI prints.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional, Union
 
-from repro.experiments.ans_size import run_ans_size_experiment
 from repro.experiments.config import SweepConfig, config_for_profile
-from repro.experiments.overhead import run_overhead_experiment
+from repro.experiments.engine import run_experiment
+from repro.experiments.presets import FIGURE_PRESETS, figure_spec
 from repro.experiments.results import ExperimentResult
-from repro.metrics import BandwidthMetric, DelayMetric
 
 ConfigLike = Union[SweepConfig, str, None]
 
@@ -34,73 +36,42 @@ def _resolve(config: ConfigLike, metric_name: str) -> SweepConfig:
     return config_for_profile(profile, metric_name)
 
 
+def run_figure(number: int, config: ConfigLike = None, progress=None, workers=None) -> ExperimentResult:
+    """Run the harness for one figure by number (6, 7, 8 or 9).
+
+    The figure's preset spec supplies its identity (id, title, measure kind, metric); the
+    resolved configuration supplies the sweep shape.  ``workers`` (default: the
+    ``REPRO_WORKERS`` environment variable) parallelizes the sweep's trials across
+    processes without changing the results.
+    """
+    preset = figure_spec(number)
+    spec = preset.with_sweep_config(_resolve(config, preset.metric))
+    return run_experiment(spec, progress=progress, workers=workers)
+
+
 def figure6(config: ConfigLike = None, progress=None, workers=None) -> ExperimentResult:
     """Figure 6: size of the advertised set, bandwidth metric."""
-    resolved = _resolve(config, "bandwidth")
-    return run_ans_size_experiment(
-        resolved,
-        BandwidthMetric(),
-        experiment_id="fig6",
-        title="Size of the set advertised in TC messages (bandwidth)",
-        progress=progress,
-        workers=workers,
-    )
+    return run_figure(6, config, progress=progress, workers=workers)
 
 
 def figure7(config: ConfigLike = None, progress=None, workers=None) -> ExperimentResult:
     """Figure 7: size of the advertised set, delay metric."""
-    resolved = _resolve(config, "delay")
-    return run_ans_size_experiment(
-        resolved,
-        DelayMetric(),
-        experiment_id="fig7",
-        title="Size of the set advertised in TC messages (delay)",
-        progress=progress,
-        workers=workers,
-    )
+    return run_figure(7, config, progress=progress, workers=workers)
 
 
 def figure8(config: ConfigLike = None, progress=None, workers=None) -> ExperimentResult:
     """Figure 8: bandwidth overhead compared to the centralized optimal paths."""
-    resolved = _resolve(config, "bandwidth")
-    return run_overhead_experiment(
-        resolved,
-        BandwidthMetric(),
-        experiment_id="fig8",
-        title="Bandwidth overhead vs centralized optimum",
-        progress=progress,
-        workers=workers,
-    )
+    return run_figure(8, config, progress=progress, workers=workers)
 
 
 def figure9(config: ConfigLike = None, progress=None, workers=None) -> ExperimentResult:
     """Figure 9: delay overhead compared to the centralized optimal paths."""
-    resolved = _resolve(config, "delay")
-    return run_overhead_experiment(
-        resolved,
-        DelayMetric(),
-        experiment_id="fig9",
-        title="Delay overhead vs centralized optimum",
-        progress=progress,
-        workers=workers,
-    )
+    return run_figure(9, config, progress=progress, workers=workers)
 
 
-#: The figure harnesses keyed by figure number.
+#: The figure harnesses keyed by figure number (see also :data:`FIGURE_PRESETS` for the
+#: underlying preset names).
 FIGURES = {6: figure6, 7: figure7, 8: figure8, 9: figure9}
-
-
-def run_figure(number: int, config: ConfigLike = None, progress=None, workers=None) -> ExperimentResult:
-    """Run the harness for one figure by number (6, 7, 8 or 9).
-
-    ``workers`` (default: the ``REPRO_WORKERS`` environment variable) parallelizes the
-    sweep's trials across processes without changing the results.
-    """
-    try:
-        harness = FIGURES[number]
-    except KeyError as exc:
-        raise KeyError(f"the paper has no result figure {number}; choose one of {sorted(FIGURES)}") from exc
-    return harness(config, progress=progress, workers=workers)
 
 
 def run_all_figures(config: ConfigLike = None, progress=None, workers=None) -> Dict[int, ExperimentResult]:

@@ -1,74 +1,27 @@
-"""QoS-overhead experiment (the paper's Figures 8 and 9).
+"""QoS-overhead experiment (the paper's Figures 8 and 9) -- legacy entry point.
 
-For every density, generate topologies, pick random source/destination pairs and compare the
-QoS value achieved when routing hop-by-hop over each protocol's advertised topology against
-the optimal value achieved by a centralized QoS-weighted Dijkstra on the full graph:
-
-* bandwidth overhead  = (b* - b) / b*   (how much of the optimal bandwidth was given up),
-* delay overhead      = (d - d*) / d*   (how much extra delay was incurred),
-
-exactly the paper's definitions.  Pairs whose packet is not delivered (routing loop or no
-advertised route) are excluded from the overhead mean and reported separately through the
-per-point ``delivery_ratio`` extra -- the paper does not report failures, and with the
-default FNBP guard none are expected.
+The measurement and aggregation logic lives in
+:class:`repro.experiments.measures.OverheadMeasure` (registry name ``"overhead"``) and runs
+through the generic spec-driven engine; :func:`run_overhead_experiment` is kept as a thin
+wrapper over :func:`repro.experiments.engine.run_experiment` for callers that still hold a
+:class:`SweepConfig` and a :class:`Metric` instance, and :func:`qos_overhead` (the paper's
+overhead definition) is re-exported from :mod:`repro.experiments.measures`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Optional
 
 from repro.experiments.config import SweepConfig
-from repro.experiments.results import ExperimentResult, SeriesPoint
-from repro.experiments.runner import Trial, map_trials
-from repro.experiments.stats import summarize
-from repro.metrics import Metric, MetricKind
-from repro.routing.hop_by_hop import HopByHopRouter
-from repro.routing.optimal import optimal_route
-
-
-def qos_overhead(metric: Metric, achieved: float, optimal: float) -> float:
-    """The paper's overhead of an achieved path value relative to the optimal value."""
-    if optimal == 0:
-        return float("nan")
-    if metric.kind is MetricKind.CONCAVE:
-        return (optimal - achieved) / optimal
-    return (achieved - optimal) / optimal
-
-
-def _overhead_trial(trial: Trial) -> dict:
-    """Per-trial measurement: overheads and delivery flags per selector (worker-safe).
-
-    The centralized optimum of each pair is computed once and shared by all selectors (it
-    depends only on the topology), exactly as comparing "on the same topology with the same
-    source and destination" requires.  The per-selector advertised topologies are diffed
-    incrementally off one working graph (see :meth:`Trial.advertised_topology`); each
-    selector's routing completes before the next topology is requested, which is exactly
-    the access pattern that liveness contract requires.
-    """
-    metric = trial.metric
-    if len(trial.network) < 2:
-        return {"node_count": len(trial.network), "per_selector": {}}
-    pairs = trial.sample_pairs(trial.config.pairs_per_run)
-    routed_pairs = []
-    for source, destination in pairs:
-        optimal = optimal_route(trial.network, source, destination, metric)
-        if not optimal.reachable or not metric.is_usable(optimal.value):
-            continue
-        routed_pairs.append((source, destination, optimal.value))
-
-    per_selector: Dict[str, Tuple[List[float], List[float]]] = {}
-    for selector_name in trial.config.selectors:
-        advertised = trial.advertised_topology(selector_name)
-        router = HopByHopRouter(trial.network, advertised, metric)
-        overheads: List[float] = []
-        deliveries: List[float] = []
-        for source, destination, optimal_value in routed_pairs:
-            outcome = router.link_state_route(source, destination)
-            deliveries.append(1.0 if outcome.delivered else 0.0)
-            if outcome.delivered:
-                overheads.append(qos_overhead(metric, outcome.value, optimal_value))
-        per_selector[selector_name] = (overheads, deliveries)
-    return {"node_count": len(trial.network), "per_selector": per_selector}
+from repro.experiments.engine import run_experiment
+from repro.experiments.measures import (  # noqa: F401  (re-exports)
+    OverheadMeasure,
+    _overhead_trial,
+    qos_overhead,
+)
+from repro.experiments.results import ExperimentResult
+from repro.experiments.spec import ExperimentSpec
+from repro.metrics import Metric
 
 
 def run_overhead_experiment(
@@ -85,52 +38,7 @@ def run_overhead_experiment(
     each density out over worker processes; aggregation happens in run order either way, so
     the output is identical to a serial run.
     """
-    result = ExperimentResult(
-        experiment_id=experiment_id,
-        title=title,
-        metric_name=metric.name,
-        x_label="density",
-        y_label=f"{metric.name} overhead",
+    spec = ExperimentSpec.from_config(
+        config, experiment_id=experiment_id, title=title, measure="overhead", metric=metric.name
     )
-    overheads: dict[str, dict[float, list[float]]] = {
-        name: {density: [] for density in config.densities} for name in config.selectors
-    }
-    deliveries: dict[str, dict[float, list[float]]] = {
-        name: {density: [] for density in config.densities} for name in config.selectors
-    }
-
-    for density in config.densities:
-
-        def on_result(run_index: int, payload: dict) -> None:
-            if progress is not None and payload["node_count"] >= 2:
-                progress(
-                    f"[{experiment_id}] density={density:g} run={run_index + 1}/{config.runs} "
-                    f"nodes={payload['node_count']}"
-                )
-
-        payloads = map_trials(
-            config, metric, density, _overhead_trial, workers=workers, on_result=on_result
-        )
-        for payload in payloads:
-            for selector_name, (trial_overheads, trial_deliveries) in payload["per_selector"].items():
-                overheads[selector_name][density].extend(trial_overheads)
-                deliveries[selector_name][density].extend(trial_deliveries)
-
-    for selector_name in config.selectors:
-        for density in config.densities:
-            summary = summarize(overheads[selector_name][density])
-            delivery = summarize(deliveries[selector_name][density])
-            result.add_point(
-                selector_name,
-                SeriesPoint(
-                    density=density,
-                    summary=summary,
-                    extra={"delivery_ratio": delivery.mean, "attempts": float(delivery.count)},
-                ),
-            )
-
-    result.add_note(
-        f"{config.runs} run(s) x {config.pairs_per_run} pair(s) per density; seed={config.seed}"
-    )
-    result.add_note("overhead averaged over delivered packets; see delivery_ratio per point")
-    return result
+    return run_experiment(spec, workers=workers, metric=metric, progress=progress)

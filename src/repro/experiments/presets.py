@@ -1,0 +1,85 @@
+"""The paper's Figures 6-9 as registered spec presets.
+
+Each preset is a zero-argument factory returning the *paper-profile*
+:class:`~repro.experiments.spec.ExperimentSpec` of one evaluation figure (100 runs at the
+paper's densities).  The figure wrappers and the CLIs narrow a preset to a profile with
+:meth:`ExperimentSpec.with_sweep_config`; everything else about the figure -- its id,
+title, measure kind and metric -- lives here, so nothing dispatches on figure numbers or
+hard-codes ``"bandwidth" if number in (6, 8)`` any more.
+
+======  =========  ==========  ===============================================
+Preset  Measure    Metric      What it shows
+======  =========  ==========  ===============================================
+fig6    ans-size   bandwidth   advertised-set size per node vs density
+fig7    ans-size   delay       advertised-set size per node vs density
+fig8    overhead   bandwidth   bandwidth overhead vs the centralized optimum
+fig9    overhead   delay       delay overhead vs the centralized optimum
+======  =========  ==========  ===============================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.config import BANDWIDTH_DENSITIES, DELAY_DENSITIES
+from repro.experiments.spec import ExperimentSpec
+from repro.registry import PRESETS
+
+
+@PRESETS.register("fig6", description="Figure 6: advertised-set size vs density, bandwidth")
+def fig6_spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        experiment_id="fig6",
+        title="Size of the set advertised in TC messages (bandwidth)",
+        measure="ans-size",
+        metric="bandwidth",
+        densities=BANDWIDTH_DENSITIES,
+    )
+
+
+@PRESETS.register("fig7", description="Figure 7: advertised-set size vs density, delay")
+def fig7_spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        experiment_id="fig7",
+        title="Size of the set advertised in TC messages (delay)",
+        measure="ans-size",
+        metric="delay",
+        densities=DELAY_DENSITIES,
+    )
+
+
+@PRESETS.register("fig8", description="Figure 8: bandwidth overhead vs the centralized optimum")
+def fig8_spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        experiment_id="fig8",
+        title="Bandwidth overhead vs centralized optimum",
+        measure="overhead",
+        metric="bandwidth",
+        densities=BANDWIDTH_DENSITIES,
+    )
+
+
+@PRESETS.register("fig9", description="Figure 9: delay overhead vs the centralized optimum")
+def fig9_spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        experiment_id="fig9",
+        title="Delay overhead vs centralized optimum",
+        measure="overhead",
+        metric="delay",
+        densities=DELAY_DENSITIES,
+    )
+
+
+#: The figure numbers of the paper's evaluation section, keyed to their preset names.
+FIGURE_PRESETS: Dict[int, str] = {6: "fig6", 7: "fig7", 8: "fig8", 9: "fig9"}
+
+
+def figure_spec(number: int) -> ExperimentSpec:
+    """The paper-profile spec preset of one figure by number (6, 7, 8 or 9)."""
+    try:
+        preset_name = FIGURE_PRESETS[number]
+    except KeyError as exc:
+        raise KeyError(
+            f"the paper has no result figure {number}; choose one of {sorted(FIGURE_PRESETS)}"
+        ) from exc
+    return PRESETS.create(preset_name)

@@ -27,6 +27,16 @@ class SeriesPoint:
     def mean(self) -> float:
         return self.summary.mean
 
+    def to_dict(self) -> dict:
+        """Plain-dictionary form (the per-point schema of every JSON/JSONL output)."""
+        return {
+            "density": self.density,
+            "mean": self.summary.mean,
+            "std": self.summary.std,
+            "count": self.summary.count,
+            **dict(self.extra),
+        }
+
 
 @dataclass
 class Series:
@@ -95,16 +105,7 @@ class ExperimentResult:
             "y_label": self.y_label,
             "notes": list(self.notes),
             "series": {
-                name: [
-                    {
-                        "density": point.density,
-                        "mean": point.summary.mean,
-                        "std": point.summary.std,
-                        "count": point.summary.count,
-                        **dict(point.extra),
-                    }
-                    for point in series.points
-                ]
+                name: [point.to_dict() for point in series.points]
                 for name, series in self.series.items()
             },
         }

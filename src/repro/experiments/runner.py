@@ -33,8 +33,8 @@ from repro.core.selection import AnsSelector, SelectionResult, make_selector
 from repro.experiments.config import SweepConfig
 from repro.localview.view import LocalView
 from repro.metrics import Metric, UniformWeightAssigner
+from repro.registry import TOPOLOGY_MODELS
 from repro.routing.advertised import AdvertisedTopology, AdvertisedTopologyBuilder
-from repro.topology.generators import PoissonNetworkGenerator
 from repro.topology.network import Network
 from repro.utils.ids import NodeId
 from repro.utils.seeding import spawn_rng
@@ -122,9 +122,10 @@ class Trial:
 def build_trial(config: SweepConfig, metric: Metric, density: float, run_index: int) -> Trial:
     """Generate the topology of one trial, following the paper's simulation settings.
 
-    The topology is restricted to its largest connected component so that every sampled
-    source/destination pair has at least one path (the paper routes between randomly chosen
-    nodes and reports QoS overheads, which presumes reachability).
+    The topology model is resolved by registry name from ``config.topology`` (the paper's
+    Poisson deployment by default, which restricts to the largest connected component so
+    that every sampled source/destination pair has at least one path -- the paper routes
+    between randomly chosen nodes and reports QoS overheads, which presumes reachability).
     """
     assigner = UniformWeightAssigner(
         metric=metric,
@@ -132,12 +133,12 @@ def build_trial(config: SweepConfig, metric: Metric, density: float, run_index: 
         high=config.weight_high,
         seed=config.seed,
     )
-    generator = PoissonNetworkGenerator(
+    generator = TOPOLOGY_MODELS.create(
+        config.topology,
         field=config.field,
-        degree=density,
+        density=density,
         seed=config.seed,
         weight_assigners=(assigner,),
-        restrict_to_largest_component=True,
     )
     network = generator.generate(run_index)
     return Trial(

@@ -1,0 +1,194 @@
+"""Streaming result sinks.
+
+The generic engine (:func:`repro.experiments.engine.run_experiment`) does not only
+materialize a monolithic :class:`ExperimentResult` at the end of a sweep -- while running it
+emits a stream of events to any number of :class:`ResultSink` instances.  That is what
+per-density checkpointing and long paper-profile runs need: with a :class:`JsonlSink`
+attached, a sweep that dies at density 25 leaves every finished density on disk.
+
+Sink contract
+-------------
+For each experiment the engine calls, in order:
+
+1. ``on_sweep_start(spec)`` -- once, before any trial runs.
+2. ``on_trial(spec, density, run_index, payload, message)`` -- once per trial, in run
+   order (also under ``REPRO_WORKERS`` parallelism; the engine re-serializes events).
+   ``payload`` is the measure's plain-data trial measurement; ``message`` is the measure's
+   human-readable progress line or ``None``.  Progress reporting *is* this event: the
+   legacy ``progress=callable`` keyword is a :class:`ProgressSink` wrapping the callable.
+3. ``on_density(spec, density, points)`` -- once per density, as soon as it is fully
+   aggregated, with ``{selector_name: SeriesPoint}``.
+4. ``on_result(result)`` -- once, with the complete :class:`ExperimentResult`.
+
+``close()`` is called by whoever created the sink, not by the engine -- one sink may span
+several experiments (``repro-figures --all`` feeds all four figures through the same
+text/JSON sinks).  The CLIs close the buffered report sinks only after a fully successful
+run (so a failure never clobbers existing output files with a partial report) but close
+the incremental JSONL sink unconditionally (its per-density checkpoints surviving a dead
+run is the point).  Every handler has a no-op default, so a sink overrides only what it
+consumes.  Sinks must not mutate ``spec``, ``payload`` or ``points``.
+
+Built-ins (registered in :data:`repro.registry.SINKS`): ``text`` writes the fixed-width
+report at close, ``json`` the results-keyed JSON document at close, ``jsonl`` one
+self-describing JSON line per event *incrementally* (flushed per line), and ``progress``
+forwards progress messages to a writer callable.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, TextIO, Union
+
+from repro.experiments.reporting import write_json, write_report
+from repro.experiments.results import ExperimentResult, SeriesPoint
+from repro.registry import SINKS
+
+
+class ResultSink:
+    """Base class of every streaming result consumer (all handlers default to no-ops)."""
+
+    def on_sweep_start(self, spec) -> None:
+        pass
+
+    def on_trial(self, spec, density: float, run_index: int, payload: dict, message: Optional[str]) -> None:
+        pass
+
+    def on_density(self, spec, density: float, points: Dict[str, SeriesPoint]) -> None:
+        pass
+
+    def on_result(self, result: ExperimentResult) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "ResultSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+@SINKS.register("progress", description="forwards per-trial progress lines to a writer callable")
+class ProgressSink(ResultSink):
+    """Adapter from the trial event stream to a ``write(message)`` callable.
+
+    This is how the legacy ``progress=`` callbacks ride on the sink API: the engine wraps
+    them in a ``ProgressSink``, and the CLIs build one writing to stderr unless ``--quiet``.
+    """
+
+    def __init__(self, write: Callable[[str], None]) -> None:
+        self.write = write
+
+    def on_trial(self, spec, density, run_index, payload, message) -> None:
+        if message is not None:
+            self.write(message)
+
+
+class MemorySink(ResultSink):
+    """Collects every completed :class:`ExperimentResult` in ``results`` (mainly for tests)."""
+
+    def __init__(self) -> None:
+        self.results: List[ExperimentResult] = []
+
+    def on_result(self, result: ExperimentResult) -> None:
+        self.results.append(result)
+
+
+@SINKS.register("text", description="fixed-width text report, written when the sink closes")
+class TextReportSink(MemorySink):
+    """Accumulates results and writes the stitched text report (as ``write_report``) at close."""
+
+    def __init__(self, path: Union[str, Path], header: str = "") -> None:
+        super().__init__()
+        self.path = Path(path)
+        self.header = header
+
+    def close(self) -> None:
+        write_report(self.results, self.path, header=self.header)
+
+
+@SINKS.register("json", description="results keyed by experiment id as one JSON document at close")
+class JsonSink(MemorySink):
+    """Accumulates results and writes the experiment-keyed JSON document (as ``write_json``)
+    at close."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        super().__init__()
+        self.path = Path(path)
+
+    def close(self) -> None:
+        write_json(self.results, self.path)
+
+
+@SINKS.register("jsonl", description="one JSON line per event, flushed incrementally (checkpointing)")
+class JsonlSink(ResultSink):
+    """Appends one self-describing JSON line per event, flushed as soon as it happens.
+
+    Event lines (each carries ``event`` and ``experiment_id``):
+
+    * ``sweep_start`` -- the full spec (``spec``), so the file is self-contained;
+    * ``trial`` -- ``density``, ``run`` and the raw measure ``payload``;
+    * ``density`` -- the per-selector point summaries of one finished density
+      (``series: {name: {density, mean, std, count, ...}}``), the checkpointing unit;
+    * ``result`` -- the complete result dictionary.
+
+    ``trial`` lines can be disabled (``trials=False``) to keep long-run files compact
+    while retaining the per-density checkpoints.
+    """
+
+    def __init__(self, path: Union[str, Path], trials: bool = True) -> None:
+        self.path = Path(path)
+        self.trials = trials
+        self._stream: Optional[TextIO] = None
+
+    def _write(self, record: dict) -> None:
+        if self._stream is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._stream = self.path.open("w", encoding="utf-8")
+        self._stream.write(json.dumps(record, sort_keys=True) + "\n")
+        self._stream.flush()
+
+    def on_sweep_start(self, spec) -> None:
+        self._write(
+            {"event": "sweep_start", "experiment_id": spec.experiment_id, "spec": spec.to_dict()}
+        )
+
+    def on_trial(self, spec, density, run_index, payload, message) -> None:
+        if self.trials:
+            self._write(
+                {
+                    "event": "trial",
+                    "experiment_id": spec.experiment_id,
+                    "density": density,
+                    "run": run_index,
+                    "payload": payload,
+                }
+            )
+
+    def on_density(self, spec, density, points) -> None:
+        self._write(
+            {
+                "event": "density",
+                "experiment_id": spec.experiment_id,
+                "density": density,
+                "series": {name: point.to_dict() for name, point in points.items()},
+            }
+        )
+
+    def on_result(self, result: ExperimentResult) -> None:
+        self._write(
+            {"event": "result", "experiment_id": result.experiment_id, "result": result.to_dict()}
+        )
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+
+def stderr_progress_sink() -> ProgressSink:
+    """The CLIs' default progress sink (one line per trial to stderr)."""
+    return ProgressSink(lambda message: print(message, file=sys.stderr))

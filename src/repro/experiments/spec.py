@@ -1,0 +1,219 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` is a frozen dataclass that *fully describes* one density sweep:
+what to measure (the ``measure`` registry name), under which QoS metric, with which
+selection algorithms, over which topology model, at which densities, with how many runs,
+how the per-topology node/pair sampling works, and from which root seed.  Every ingredient
+is referred to by registry name (see :mod:`repro.registry`), so a spec is plain data --
+loadable and dumpable as JSON -- and the generic engine
+(:func:`repro.experiments.engine.run_experiment`) can execute any spec without
+experiment-specific code.
+
+The paper's Figures 6-9 are four registered spec presets (:mod:`repro.experiments.presets`);
+``repro-sweep --spec my_sweep.json`` runs arbitrary specs from files.
+
+JSON schema (all fields optional except ``experiment_id``, ``title``, ``measure`` and
+``metric``; ``field`` nests the deployment area)::
+
+    {
+      "experiment_id": "custom-delay",
+      "title": "Custom delay sweep",
+      "measure": "overhead",             // MEASURES registry
+      "metric": "delay",                 // METRICS registry
+      "selectors": ["fnbp", "topology-filtering"],   // SELECTORS registry
+      "topology": "poisson",             // TOPOLOGY_MODELS registry
+      "densities": [6.0, 9.0, 12.0],
+      "runs": 10,
+      "pairs_per_run": 2,
+      "node_sample": 20,                 // null = every node
+      "field": {"width": 1000.0, "height": 1000.0, "radius": 100.0},
+      "weight_low": 1.0,
+      "weight_high": 10.0,
+      "seed": 42
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+from repro.experiments.config import PAPER_SELECTORS, SweepConfig
+from repro.registry import MEASURES, METRICS, SELECTORS, TOPOLOGY_MODELS
+from repro.topology.generators import PAPER_FIELD, FieldSpec
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One density sweep, fully described as plain data.
+
+    Numeric constraints are validated at construction (by round-tripping through
+    :class:`SweepConfig`); registry names are validated by :meth:`validate_names`, which
+    :meth:`from_dict` / :meth:`from_json` / the engine call so that a typo fails fast with
+    an error naming the registry and its known entries.
+    """
+
+    experiment_id: str
+    title: str
+    measure: str
+    metric: str
+    selectors: Tuple[str, ...] = PAPER_SELECTORS
+    topology: str = "poisson"
+    densities: Tuple[float, ...] = ()
+    runs: int = 100
+    pairs_per_run: int = 1
+    node_sample: Optional[int] = None
+    field: FieldSpec = field(default_factory=lambda: PAPER_FIELD)
+    weight_low: float = 1.0
+    weight_high: float = 10.0
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if not self.experiment_id:
+            raise ValueError("experiment_id must be non-empty")
+        object.__setattr__(self, "selectors", tuple(self.selectors))
+        object.__setattr__(self, "densities", tuple(self.densities))
+        if isinstance(self.field, dict):
+            object.__setattr__(self, "field", FieldSpec(**self.field))
+        self.sweep_config()  # numeric validation lives in SweepConfig.__post_init__
+
+    # ------------------------------------------------------------------ validation
+
+    def validate_names(self, require_metric: bool = True) -> "ExperimentSpec":
+        """Check every registry name and return ``self``.
+
+        Raises ``KeyError`` naming the offending registry and its known entries.  The
+        engine skips the metric check when a caller supplies a ready-made metric instance
+        (``require_metric=False``).
+        """
+        MEASURES.get(self.measure)
+        if require_metric:
+            METRICS.get(self.metric)
+        TOPOLOGY_MODELS.get(self.topology)
+        for selector in self.selectors:
+            SELECTORS.get(selector)
+        return self
+
+    # ------------------------------------------------------------------ conversions
+
+    def sweep_config(self) -> SweepConfig:
+        """The :class:`SweepConfig` driving the runner plumbing for this spec."""
+        return SweepConfig(
+            densities=self.densities,
+            runs=self.runs,
+            pairs_per_run=self.pairs_per_run,
+            node_sample=self.node_sample,
+            field=self.field,
+            weight_low=self.weight_low,
+            weight_high=self.weight_high,
+            seed=self.seed,
+            selectors=self.selectors,
+            topology=self.topology,
+        )
+
+    @classmethod
+    def from_config(
+        cls,
+        config: SweepConfig,
+        *,
+        experiment_id: str,
+        title: str,
+        measure: str,
+        metric: str,
+    ) -> "ExperimentSpec":
+        """Wrap a legacy :class:`SweepConfig` plus the fields it never carried."""
+        return cls(
+            experiment_id=experiment_id,
+            title=title,
+            measure=measure,
+            metric=metric,
+            selectors=config.selectors,
+            topology=config.topology,
+            densities=config.densities,
+            runs=config.runs,
+            pairs_per_run=config.pairs_per_run,
+            node_sample=config.node_sample,
+            field=config.field,
+            weight_low=config.weight_low,
+            weight_high=config.weight_high,
+            seed=config.seed,
+        )
+
+    def with_sweep_config(self, config: SweepConfig) -> "ExperimentSpec":
+        """This spec with every sweep-shaped field replaced from ``config``.
+
+        The preset wrappers use this: the preset fixes identity (id, title, measure,
+        metric), the profile configuration fixes the sweep shape.
+        """
+        return replace(
+            self,
+            selectors=config.selectors,
+            topology=config.topology,
+            densities=config.densities,
+            runs=config.runs,
+            pairs_per_run=config.pairs_per_run,
+            node_sample=config.node_sample,
+            field=config.field,
+            weight_low=config.weight_low,
+            weight_high=config.weight_high,
+            seed=config.seed,
+        )
+
+    def with_overrides(self, **overrides) -> "ExperimentSpec":
+        """A copy of the spec with the given fields replaced (validates like a fresh spec)."""
+        return replace(self, **overrides)
+
+    # ------------------------------------------------------------------ JSON round-trip
+
+    def to_dict(self) -> dict:
+        """Plain-dictionary form; ``ExperimentSpec.from_dict(spec.to_dict()) == spec``."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "measure": self.measure,
+            "metric": self.metric,
+            "selectors": list(self.selectors),
+            "topology": self.topology,
+            "densities": list(self.densities),
+            "runs": self.runs,
+            "pairs_per_run": self.pairs_per_run,
+            "node_sample": self.node_sample,
+            "field": {
+                "width": self.field.width,
+                "height": self.field.height,
+                "radius": self.field.radius,
+            },
+            "weight_low": self.weight_low,
+            "weight_high": self.weight_high,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentSpec":
+        """Build a spec from a plain dictionary, rejecting unknown keys by name."""
+        known = {spec_field.name for spec_field in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown ExperimentSpec field(s) {unknown}; known: {sorted(known)}")
+        return cls(**payload).validate_names()
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        return cls.from_dict(json.loads(text))
+
+    def dump(self, path: Union[str, Path]) -> Path:
+        """Write the spec as JSON to ``path`` and return the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ExperimentSpec":
+        """Load a spec from a JSON file."""
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))

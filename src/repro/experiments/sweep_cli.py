@@ -1,0 +1,222 @@
+"""Generic spec-driven sweep command-line interface.
+
+Installed as ``repro-sweep`` (see ``pyproject.toml``).  Runs *any* experiment the registries
+can express -- not just the paper's four figures::
+
+    repro-sweep --list                                   # what can I plug together?
+    repro-sweep --spec examples/specs/custom_delay_sweep.json --jsonl out.jsonl
+    repro-sweep --preset fig6 --densities 12,18,24 --runs 10 --json fig6_custom.json
+    repro-sweep --measure ans-size --metric jitter --densities 10,20 --runs 2 \\
+        --selectors fnbp,olsr-mpr --id jitter-ans --title "Jitter ANS sizes"
+
+A sweep is described by an :class:`~repro.experiments.spec.ExperimentSpec`, obtained from
+``--spec file.json``, from a registered preset (``--preset fig8``), or built from scratch
+(requires at least ``--measure``, ``--metric`` and ``--densities``); every per-field
+override flag applies on top.  Results stream through the sink API: the text table always
+prints to stdout, ``--output`` adds a text-report file, ``--json`` the experiment-keyed
+JSON document, and ``--jsonl`` an incremental line-per-event file whose per-density
+checkpoints survive a killed run.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Tuple
+
+from repro.experiments.engine import run_experiment
+from repro.experiments.reporting import render_report
+from repro.experiments.sinks import JsonlSink, JsonSink, ResultSink, TextReportSink, stderr_progress_sink
+from repro.experiments.spec import ExperimentSpec
+from repro.registry import ALL_REGISTRIES, PRESETS
+
+
+def parse_name_list(text: str) -> Tuple[str, ...]:
+    """A comma-separated list of registry names -> tuple (``"a,b"`` -> ``("a", "b")``)."""
+    names = tuple(part.strip() for part in text.split(",") if part.strip())
+    if not names:
+        raise argparse.ArgumentTypeError(f"expected a comma-separated list of names, got {text!r}")
+    return names
+
+
+def parse_densities(text: str) -> Tuple[float, ...]:
+    """A comma-separated density list -> tuple of floats (``"10,15"`` -> ``(10.0, 15.0)``)."""
+    try:
+        densities = tuple(float(part) for part in text.split(",") if part.strip())
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"expected comma-separated numbers, got {text!r}") from exc
+    if not densities:
+        raise argparse.ArgumentTypeError(f"expected at least one density, got {text!r}")
+    return densities
+
+
+#: Sentinel distinguishing "--node-sample absent" from "--node-sample all" (which parses
+#: to None, the spec's every-node value).
+NODE_SAMPLE_UNSET = object()
+
+
+def parse_node_sample(text: str) -> Optional[int]:
+    """Nodes sampled per topology; ``0`` or ``all`` means every node (``None``)."""
+    if text.strip().lower() == "all":
+        return None
+    try:
+        value = int(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"expected an integer or 'all', got {text!r}") from exc
+    return None if value == 0 else value
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sweep",
+        description="Run an arbitrary spec-driven density sweep against the plugin registries.",
+    )
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument("--spec", default=None, help="load the experiment spec from this JSON file")
+    source.add_argument("--preset", default=None, choices=None, help="start from a registered spec preset (e.g. fig6)")
+    parser.add_argument("--list", action="store_true", help="list every registry's entries and exit")
+
+    overrides = parser.add_argument_group("spec field overrides")
+    overrides.add_argument("--id", dest="experiment_id", default=None, help="experiment id (series key in JSON outputs)")
+    overrides.add_argument("--title", default=None, help="human-readable experiment title")
+    overrides.add_argument("--measure", default=None, help="measure kind (registry name, e.g. ans-size, overhead)")
+    overrides.add_argument("--metric", default=None, help="QoS metric (registry name, e.g. bandwidth, delay)")
+    overrides.add_argument("--topology", default=None, help="topology model (registry name, e.g. poisson)")
+    overrides.add_argument(
+        "--selectors", type=parse_name_list, default=None, help="comma-separated selector registry names"
+    )
+    overrides.add_argument(
+        "--densities", type=parse_densities, default=None, help="comma-separated density values to sweep"
+    )
+    overrides.add_argument("--runs", type=int, default=None, help="independent topologies per density")
+    overrides.add_argument("--pairs", type=int, default=None, help="source/destination pairs per run")
+    overrides.add_argument(
+        "--node-sample",
+        type=parse_node_sample,
+        default=NODE_SAMPLE_UNSET,
+        help="nodes sampled per topology in set-size measures (0 or 'all' = every node)",
+    )
+    overrides.add_argument("--seed", type=int, default=None, help="root random seed")
+
+    outputs = parser.add_argument_group("outputs (result sinks)")
+    outputs.add_argument("--output", default=None, help="write the text report to this file")
+    outputs.add_argument("--json", dest="json_output", default=None, help="write results as JSON to this file")
+    outputs.add_argument(
+        "--jsonl",
+        dest="jsonl_output",
+        default=None,
+        help="stream events incrementally to this JSONL file (per-density checkpoints)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes per sweep (0 = one per CPU; default: $REPRO_WORKERS or serial); "
+        "results are identical to a serial run",
+    )
+    parser.add_argument("--quiet", action="store_true", help="do not print per-run progress")
+    return parser
+
+
+def render_registries() -> str:
+    """The ``--list`` output: every registry section with its entries and descriptions."""
+    lines: List[str] = []
+    for section, registry in ALL_REGISTRIES.items():
+        lines.append(f"{section} ({registry.kind} registry):")
+        descriptions = registry.describe()
+        if not descriptions:
+            lines.append("  (empty)")
+        width = max((len(name) for name in descriptions), default=0)
+        for name, description in descriptions.items():
+            suffix = f"  {description}" if description else ""
+            lines.append(f"  {name.ljust(width)}{suffix}")
+    return "\n".join(lines)
+
+
+def _base_spec(args: argparse.Namespace, parser: argparse.ArgumentParser) -> ExperimentSpec:
+    if args.spec is not None:
+        return ExperimentSpec.load(args.spec)
+    if args.preset is not None:
+        return PRESETS.create(args.preset)
+    missing = [flag for flag, value in (("--measure", args.measure), ("--metric", args.metric), ("--densities", args.densities)) if value is None]
+    if missing:
+        parser.error(
+            "without --spec or --preset, a sweep needs at least "
+            + ", ".join(missing)
+            + " (see --list for registry contents)"
+        )
+    return ExperimentSpec(
+        experiment_id=args.experiment_id or "sweep",
+        title=args.title or "Ad-hoc sweep",
+        measure=args.measure,
+        metric=args.metric,
+        densities=args.densities,
+    )
+
+
+def _apply_overrides(spec: ExperimentSpec, args: argparse.Namespace) -> ExperimentSpec:
+    overrides = {}
+    for spec_field, value in (
+        ("experiment_id", args.experiment_id),
+        ("title", args.title),
+        ("measure", args.measure),
+        ("metric", args.metric),
+        ("topology", args.topology),
+        ("selectors", args.selectors),
+        ("densities", args.densities),
+        ("runs", args.runs),
+        ("pairs_per_run", args.pairs),
+        ("seed", args.seed),
+    ):
+        if value is not None:
+            overrides[spec_field] = value
+    if args.node_sample is not NODE_SAMPLE_UNSET:
+        overrides["node_sample"] = args.node_sample
+    return spec.with_overrides(**overrides) if overrides else spec
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list:
+        print(render_registries())
+        return 0
+
+    try:
+        spec = _apply_overrides(_base_spec(args, parser), args).validate_names()
+    except (KeyError, ValueError, OSError) as exc:
+        # Unknown registry names, malformed spec files and bad field values all carry
+        # self-explanatory messages (the registry errors name their known entries).
+        message = exc.args[0] if exc.args and isinstance(exc.args[0], str) else str(exc)
+        parser.error(message)
+
+    sinks: List[ResultSink] = []
+    if not args.quiet:
+        sinks.append(stderr_progress_sink())
+    if args.output:
+        sinks.append(TextReportSink(args.output, header=f"spec={spec.experiment_id}"))
+    if args.json_output:
+        sinks.append(JsonSink(args.json_output))
+    jsonl_sink: Optional[JsonlSink] = None
+    if args.jsonl_output:
+        jsonl_sink = JsonlSink(args.jsonl_output)
+        sinks.append(jsonl_sink)
+
+    # The JSONL sink streams incrementally and must keep its per-density checkpoints even
+    # when the run dies -- that is its purpose -- so it closes unconditionally.  The text
+    # and JSON report sinks buffer and write at close; they are closed only after success,
+    # so a failed run never clobbers existing output files with a partial report.
+    try:
+        result = run_experiment(spec, sinks=sinks, workers=args.workers)
+    finally:
+        if jsonl_sink is not None:
+            jsonl_sink.close()
+    for sink in sinks:
+        if sink is not jsonl_sink:
+            sink.close()
+    print(render_report([result], header=f"spec={spec.experiment_id}"))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution guard
+    raise SystemExit(main())

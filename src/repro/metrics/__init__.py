@@ -33,8 +33,12 @@ from repro.metrics.delay import (
     PacketLossMetric,
 )
 from repro.metrics.ordering import preference_key, preferred_neighbor, rank_neighbors
+from repro.registry import METRICS as _METRIC_REGISTRY
 
-#: Registry of the ready-made single-criterion metrics by name.
+#: The ready-made single-criterion metric instances, shared library-wide.  They register
+#: themselves in the unified :data:`repro.registry.METRICS` registry below; this mapping is
+#: kept as a convenience snapshot of the built-ins (registry lookups, including any metrics
+#: registered later by plugins, go through :func:`get_metric`).
 METRICS = {
     metric.name: metric
     for metric in (
@@ -48,13 +52,18 @@ METRICS = {
     )
 }
 
+for _metric in METRICS.values():
+    _METRIC_REGISTRY.register(
+        _metric.name,
+        (lambda metric: lambda: metric)(_metric),
+        description=f"{_metric.kind.name.lower()} metric ({type(_metric).__name__})",
+    )
+del _metric
+
 
 def get_metric(name: str) -> Metric:
     """Return the shared instance of the metric registered under ``name``."""
-    try:
-        return METRICS[name]
-    except KeyError as exc:
-        raise KeyError(f"unknown metric {name!r}; known: {sorted(METRICS)}") from exc
+    return _METRIC_REGISTRY.create(name)
 
 
 __all__ = [

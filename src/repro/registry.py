@@ -1,0 +1,215 @@
+"""Unified plugin registries for the scenario API.
+
+Every pluggable ingredient of an experiment -- selection algorithms, QoS metrics, topology
+models, measure kinds, result sinks and spec presets -- is published in one of the
+:class:`Registry` instances below and referred to *by name* from a declarative
+:class:`~repro.experiments.spec.ExperimentSpec`.  This replaces the bespoke per-subsystem
+mechanisms the harness grew historically (the private ``_SELECTOR_FACTORIES`` dict, the
+``METRICS`` dict, hard-coded generator imports, and the ``number in (6, 8)`` metric dispatch
+in the CLI).
+
+Registries are **lazy**: importing this module imports nothing else, and the built-in
+entries of each registry are loaded on first lookup by importing their defining modules
+(which register themselves, usually through the :meth:`Registry.register` decorator).  That
+keeps the import graph acyclic -- defining modules may import ``repro.registry``, never the
+other way around at import time.
+
+Extending the harness is one decorator, no core edits::
+
+    from repro.registry import SELECTORS
+
+    @SELECTORS.register("my-selector", description="always advertises everything")
+    class MySelector(AnsSelector):
+        ...
+
+after which ``"my-selector"`` is valid anywhere a selector name appears: in an
+``ExperimentSpec``, in ``repro-sweep --selectors``, and in ``repro-sweep --list`` output.
+The same pattern applies to ``METRICS`` (register a factory returning a
+:class:`~repro.metrics.base.Metric`), ``TOPOLOGY_MODELS`` (a factory
+``(field, density, seed, weight_assigners) -> generator`` whose product has a
+``generate(run_index)`` method), ``MEASURES`` (a :class:`~repro.experiments.measures.Measure`
+subclass), ``SINKS`` and ``PRESETS`` (zero-argument factories returning an
+``ExperimentSpec``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional
+
+
+class Registry:
+    """A named, lazily populated mapping from registry names to factories.
+
+    ``kind`` is the human-readable noun used in error messages (``"selector"``,
+    ``"metric"``, ...).  Built-ins are loaded on first lookup by the ``populate`` hook
+    (attached with :meth:`on_populate`), which imports the defining modules; those modules
+    call :meth:`register` -- directly or as a decorator -- to publish their entries.
+    """
+
+    def __init__(self, kind: str, populate: Optional[Callable[[], None]] = None) -> None:
+        self.kind = kind
+        self._factories: Dict[str, Callable] = {}
+        self._descriptions: Dict[str, str] = {}
+        self._populate = populate
+        self._populated = False
+
+    # ------------------------------------------------------------------ registration
+
+    def register(self, name: str, factory: Optional[Callable] = None, *, description: str = ""):
+        """Register ``factory`` under ``name`` (last registration wins).
+
+        Usable as a plain call (``REGISTRY.register("name", factory)``) or as a class /
+        function decorator (``@REGISTRY.register("name")``).  Returns the factory either
+        way, so decorated objects are unchanged.
+        """
+        if factory is None:
+
+            def decorator(obj: Callable) -> Callable:
+                self.register(name, obj, description=description)
+                return obj
+
+            return decorator
+        if not callable(factory):
+            raise TypeError(f"{self.kind} factory for {name!r} must be callable, got {factory!r}")
+        self._factories[name] = factory
+        self._descriptions[name] = description or _first_doc_line(factory)
+        return factory
+
+    def on_populate(self, hook: Callable[[], None]) -> Callable[[], None]:
+        """Attach (as a decorator) the lazy loader that registers the built-in entries."""
+        self._populate = hook
+        return hook
+
+    def _ensure_populated(self) -> None:
+        if self._populated or self._populate is None:
+            return
+        self._populated = True  # set first: the hook's imports may look the registry up
+        try:
+            self._populate()
+        except BaseException:
+            # A failed load (e.g. a broken import) must surface on every lookup, not turn
+            # into a misleading "registry knows []" on the second one.
+            self._populated = False
+            raise
+
+    # ------------------------------------------------------------------ lookup
+
+    def names(self) -> List[str]:
+        """Sorted names of every registered entry."""
+        self._ensure_populated()
+        return sorted(self._factories)
+
+    def get(self, name: str) -> Callable:
+        """The factory registered under ``name``.
+
+        Raises ``KeyError`` naming the registry and its known entries, so that a typo in a
+        spec or on the command line is self-explanatory.
+        """
+        self._ensure_populated()
+        try:
+            return self._factories[name]
+        except KeyError as exc:
+            raise KeyError(
+                f"unknown {self.kind} {name!r}; the {self.kind} registry knows {self.names()}"
+            ) from exc
+
+    def create(self, name: str, *args, **kwargs):
+        """Instantiate the entry registered under ``name``."""
+        return self.get(name)(*args, **kwargs)
+
+    def describe(self) -> Dict[str, str]:
+        """``{name: one-line description}`` for every entry (used by ``repro-sweep --list``)."""
+        self._ensure_populated()
+        return {name: self._descriptions.get(name, "") for name in self.names()}
+
+    def __contains__(self, name: object) -> bool:
+        self._ensure_populated()
+        return name in self._factories
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        self._ensure_populated()
+        return len(self._factories)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        populated = "populated" if self._populated else "lazy"
+        return f"Registry(kind={self.kind!r}, {populated}, entries={len(self._factories)})"
+
+
+def _first_doc_line(factory: Callable) -> str:
+    doc = getattr(factory, "__doc__", None) or ""
+    for line in doc.splitlines():
+        line = line.strip()
+        if line:
+            return line
+    return ""
+
+
+#: Advertised-neighbor-set selection algorithms (:class:`repro.core.selection.AnsSelector`).
+SELECTORS = Registry("selector")
+
+#: QoS metrics; factories return shared :class:`repro.metrics.base.Metric` instances.
+METRICS = Registry("metric")
+
+#: Topology models: ``factory(field, density, seed, weight_assigners)`` returning a
+#: generator object with a ``generate(run_index)`` method.
+TOPOLOGY_MODELS = Registry("topology model")
+
+#: Measure kinds: what one sweep trial measures and how trials aggregate into series
+#: (:class:`repro.experiments.measures.Measure`).
+MEASURES = Registry("measure")
+
+#: Result sinks: streaming consumers of sweep events (:class:`repro.experiments.sinks.ResultSink`).
+SINKS = Registry("sink")
+
+#: Spec presets: zero-argument factories returning a full paper-profile
+#: :class:`~repro.experiments.spec.ExperimentSpec` (the paper's Figures 6-9 live here).
+PRESETS = Registry("preset")
+
+#: Every registry by plural section name, in ``repro-sweep --list`` display order.
+ALL_REGISTRIES: Dict[str, Registry] = {
+    "measures": MEASURES,
+    "metrics": METRICS,
+    "selectors": SELECTORS,
+    "topology-models": TOPOLOGY_MODELS,
+    "sinks": SINKS,
+    "presets": PRESETS,
+}
+
+
+@SELECTORS.on_populate
+def _load_builtin_selectors() -> None:
+    # The selector classes register themselves (decorators in their defining modules);
+    # importing the modules is all it takes.  Deferred because they import the selection
+    # framework, which itself re-exports registry wrappers.
+    import repro.baselines.olsr_mpr  # noqa: F401
+    import repro.baselines.qolsr  # noqa: F401
+    import repro.baselines.topology_filtering  # noqa: F401
+    import repro.core.fnbp  # noqa: F401
+
+
+@METRICS.on_populate
+def _load_builtin_metrics() -> None:
+    import repro.metrics  # noqa: F401
+
+
+@TOPOLOGY_MODELS.on_populate
+def _load_builtin_topology_models() -> None:
+    import repro.topology.generators  # noqa: F401
+
+
+@MEASURES.on_populate
+def _load_builtin_measures() -> None:
+    import repro.experiments.measures  # noqa: F401
+
+
+@SINKS.on_populate
+def _load_builtin_sinks() -> None:
+    import repro.experiments.sinks  # noqa: F401
+
+
+@PRESETS.on_populate
+def _load_builtin_presets() -> None:
+    import repro.experiments.presets  # noqa: F401

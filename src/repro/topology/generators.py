@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.metrics.assignment import WeightAssigner
+from repro.registry import TOPOLOGY_MODELS
 from repro.topology.network import Network, Position
 from repro.topology.unit_disk import degree_to_intensity, unit_disk_links
 from repro.utils.ids import NodeId
@@ -170,3 +171,58 @@ def _poisson_sample(rng, mean: float) -> int:
         count += 1
         product *= rng.random()
     return count
+
+
+# ---------------------------------------------------------------------- registered models
+#
+# The scenario API refers to topology models by registry name (the ``topology`` field of an
+# ``ExperimentSpec`` / ``SweepConfig``).  A model factory receives the sweep's field, the
+# density value being swept, the root seed and the per-metric weight assigners, and returns
+# a generator object whose ``generate(run_index)`` yields one topology per run.  How the
+# density axis is interpreted is up to the model (mean degree, node count, grid side, ...).
+
+
+@TOPOLOGY_MODELS.register(
+    "poisson",
+    description="Poisson point process at target mean degree, largest component (the paper's model)",
+)
+def poisson_model(field: FieldSpec, density: float, seed: int, weight_assigners: Sequence[WeightAssigner] = ()):
+    """``density`` is the target mean node degree δ, as in the paper's evaluation."""
+    return PoissonNetworkGenerator(
+        field=field,
+        degree=density,
+        seed=seed,
+        weight_assigners=tuple(weight_assigners),
+        restrict_to_largest_component=True,
+    )
+
+
+@TOPOLOGY_MODELS.register(
+    "fixed-count",
+    description="uniform deployment of exactly round(density) nodes, largest component",
+)
+def fixed_count_model(field: FieldSpec, density: float, seed: int, weight_assigners: Sequence[WeightAssigner] = ()):
+    """``density`` is the exact number of deployed nodes (binomial point process)."""
+    return FixedCountNetworkGenerator(
+        field=field,
+        node_count=int(round(density)),
+        seed=seed,
+        weight_assigners=tuple(weight_assigners),
+        restrict_to_largest_component=True,
+    )
+
+
+@TOPOLOGY_MODELS.register(
+    "grid",
+    description="deterministic round(density) x round(density) grid at 0.8 radius spacing",
+)
+def grid_model(field: FieldSpec, density: float, seed: int, weight_assigners: Sequence[WeightAssigner] = ()):
+    """``density`` is the grid side; the seed only affects weight draws, not positions."""
+    side = max(1, int(round(density)))
+    return GridNetworkGenerator(
+        rows=side,
+        columns=side,
+        spacing=field.radius * 0.8,
+        radius=field.radius,
+        weight_assigners=tuple(weight_assigners),
+    )
