@@ -54,6 +54,12 @@ class SweepConfig:
     topology:
         Registry name of the topology model trials are generated from (the paper's Poisson
         deployment by default; see :data:`repro.registry.TOPOLOGY_MODELS`).
+    timesteps:
+        How many timesteps each trial's topology is advanced through (0 = static sweep,
+        which is every paper figure; dynamic measures such as ``ans-churn`` require at
+        least 1 and a dynamic topology model -- see :mod:`repro.mobility`).
+    step_interval:
+        Simulated time units per timestep (the ``dt`` handed to the mobility model).
     """
 
     densities: Tuple[float, ...] = BANDWIDTH_DENSITIES
@@ -66,6 +72,8 @@ class SweepConfig:
     seed: int = 42
     selectors: Tuple[str, ...] = PAPER_SELECTORS
     topology: str = "poisson"
+    timesteps: int = 0
+    step_interval: float = 1.0
 
     def __post_init__(self) -> None:
         if not self.densities:
@@ -81,6 +89,9 @@ class SweepConfig:
             raise ValueError("weights must satisfy 0 < weight_low <= weight_high")
         if not self.topology or not isinstance(self.topology, str):
             raise ValueError(f"topology must be a registry name, got {self.topology!r}")
+        if self.timesteps < 0:
+            raise ValueError(f"timesteps must be non-negative, got {self.timesteps}")
+        require_positive(self.step_interval, "step_interval")
 
     def with_overrides(self, **overrides) -> "SweepConfig":
         """A copy of the configuration with the given fields replaced."""

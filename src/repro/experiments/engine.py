@@ -43,6 +43,7 @@ def run_experiment(
     """
     spec.validate_names(require_metric=metric is None)
     measure = MEASURES.create(spec.measure)
+    measure.validate_spec(spec)
     if metric is None:
         metric = METRICS.create(spec.metric)
     sinks = list(sinks)

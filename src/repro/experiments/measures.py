@@ -49,6 +49,14 @@ class Measure(ABC):
     #: The swept quantity (every paper figure sweeps density).
     x_label: str = "density"
 
+    def validate_spec(self, spec) -> None:
+        """Reject specs this measure cannot run (called by the engine before any trial).
+
+        The default accepts everything; time-axis measures override it to require
+        ``timesteps >= 1`` so a mis-assembled dynamic spec fails fast instead of deep
+        inside a worker process.
+        """
+
     @abstractmethod
     def y_label(self, metric: Metric) -> str:
         """The y-axis label of the result table for the given metric."""
@@ -180,7 +188,12 @@ def _overhead_trial(trial: Trial) -> dict:
     per_selector: Dict[str, Tuple[List[float], List[float]]] = {}
     for selector_name in trial.config.selectors:
         advertised = trial.advertised_topology(selector_name)
-        router = HopByHopRouter(trial.network, advertised, metric)
+        # The sources' HELLO-learned edges depend only on the physical topology, so the
+        # per-source walk is done once per trial (Trial.link_state_edges) and shared by
+        # every selector's router instead of being repeated per router.
+        router = HopByHopRouter(
+            trial.network, advertised, metric, local_edges=trial.link_state_edges
+        )
         overheads: List[float] = []
         deliveries: List[float] = []
         for source, destination, optimal_value in routed_pairs:

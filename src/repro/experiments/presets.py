@@ -24,6 +24,7 @@ from typing import Dict
 from repro.experiments.config import BANDWIDTH_DENSITIES, DELAY_DENSITIES
 from repro.experiments.spec import ExperimentSpec
 from repro.registry import PRESETS
+from repro.topology.generators import FieldSpec
 
 
 @PRESETS.register("fig6", description="Figure 6: advertised-set size vs density, bandwidth")
@@ -67,6 +68,50 @@ def fig9_spec() -> ExperimentSpec:
         measure="overhead",
         metric="delay",
         densities=DELAY_DENSITIES,
+    )
+
+
+@PRESETS.register(
+    "mobility-churn",
+    description="ANS churn per step under random-waypoint mobility (dynamic sweep)",
+)
+def mobility_churn_spec() -> ExperimentSpec:
+    """Beyond the paper's static snapshots: how turbulent is each protocol's advertised
+    topology when nodes move?  Densities are node counts (the mobility models deploy an
+    exact number of nodes so churn statistics are not confounded by population noise); on
+    the 600x600 field they span mean degrees ~5-10, the lower half of the paper's range."""
+    return ExperimentSpec(
+        experiment_id="mobility-churn",
+        title="Advertised-topology churn under random-waypoint mobility",
+        measure="ans-churn",
+        metric="bandwidth",
+        topology="rwp",
+        densities=(60.0, 90.0, 120.0),
+        runs=20,
+        timesteps=10,
+        step_interval=1.0,
+        field=FieldSpec(width=600.0, height=600.0, radius=100.0),
+    )
+
+
+@PRESETS.register(
+    "mobility-stability",
+    description="first-hop route stability per step under random-waypoint mobility (dynamic sweep)",
+)
+def mobility_stability_spec() -> ExperimentSpec:
+    """The user-visible face of churn: what fraction of routes survive one timestep."""
+    return ExperimentSpec(
+        experiment_id="mobility-stability",
+        title="First-hop route stability under random-waypoint mobility",
+        measure="route-stability",
+        metric="bandwidth",
+        topology="rwp",
+        densities=(60.0, 90.0, 120.0),
+        runs=20,
+        pairs_per_run=5,
+        timesteps=10,
+        step_interval=1.0,
+        field=FieldSpec(width=600.0, height=600.0, radius=100.0),
     )
 
 

@@ -49,11 +49,14 @@ class Trial:
     density: float
     run_index: int
     network: Network
+    generator: Optional[object] = None
     _views: Optional[Dict[NodeId, LocalView]] = None
     _selections: Dict[str, Dict[NodeId, SelectionResult]] = field(default_factory=dict)
     _advertised: Optional[AdvertisedTopology] = None
     _advertised_builder: Optional[AdvertisedTopologyBuilder] = None
     _advertised_current: Optional[str] = None
+    _link_state_edges: Dict[NodeId, list] = field(default_factory=dict)
+    _dynamic: Optional[object] = None
 
     # ------------------------------------------------------------------ views
 
@@ -95,6 +98,52 @@ class Trial:
         self._advertised = self._advertised_builder.build(self.selections(selector_name))
         self._advertised_current = selector_name
         return self._advertised
+
+    # ------------------------------------------------------------------ link-state edges
+
+    def link_state_edges(self, source: NodeId) -> list:
+        """The HELLO-learned local edges of ``source``, cached once per trial.
+
+        These are the ``(neighbor, other, attributes)`` triples a source node adds on top
+        of the advertised topology when computing its routing table (RFC 3626: the one- and
+        two-hop links known from HELLO piggybacking).  They depend only on the physical
+        network -- not on any selector -- so one walk per source serves the routers of
+        *every* selector in the trial (previously each selector's router re-walked the
+        adjacency; see :class:`~repro.routing.hop_by_hop.HopByHopRouter`).
+        """
+        edges = self._link_state_edges.get(source)
+        if edges is None:
+            from repro.routing.hop_by_hop import hello_learned_edges
+
+            edges = list(hello_learned_edges(self.network, source))
+            self._link_state_edges[source] = edges
+        return edges
+
+    # ------------------------------------------------------------------ dynamics
+
+    def dynamic_topology(self):
+        """The :class:`~repro.mobility.dynamic.DynamicTopology` of this trial's run.
+
+        Only available when the spec's topology model is dynamic (``rwp``,
+        ``gauss-markov``, ``churn``, or any registered model exposing a
+        ``dynamic(run_index, step_interval, network)`` factory); static models raise a
+        self-explanatory error.  Built once per trial, reusing ``self.network`` as the
+        time-zero snapshot (the driver takes ownership: the trial's network and the
+        driver's views are live and advance in place as the dynamic measure steps).
+        """
+        if self._dynamic is None:
+            factory = getattr(self.generator, "dynamic", None)
+            if factory is None:
+                raise ValueError(
+                    f"topology model {self.config.topology!r} is static; dynamic sweeps "
+                    f"need a mobility model such as 'rwp', 'gauss-markov' or 'churn'"
+                )
+            self._dynamic = factory(
+                self.run_index,
+                step_interval=self.config.step_interval,
+                network=self.network,
+            )
+        return self._dynamic
 
     # ------------------------------------------------------------------ sampling
 
@@ -147,6 +196,7 @@ def build_trial(config: SweepConfig, metric: Metric, density: float, run_index: 
         density=density,
         run_index=run_index,
         network=network,
+        generator=generator,
     )
 
 

@@ -29,8 +29,16 @@ JSON schema (all fields optional except ``experiment_id``, ``title``, ``measure`
       "field": {"width": 1000.0, "height": 1000.0, "radius": 100.0},
       "weight_low": 1.0,
       "weight_high": 10.0,
-      "seed": 42
+      "seed": 42,
+      "timesteps": 0,                    // > 0 = dynamic sweep (mobility measures)
+      "step_interval": 1.0               // simulated time units per timestep
     }
+
+Dynamic sweeps (the mobility subsystem, :mod:`repro.mobility`) set ``timesteps`` to the
+number of steps each trial's topology is advanced through, ``step_interval`` to the
+simulated time per step, a dynamic ``topology`` model (``rwp``, ``gauss-markov``,
+``churn``) and a time-axis ``measure`` (``ans-churn``, ``tc-overhead``,
+``route-stability``); ``examples/specs/mobility_churn_sweep.json`` is a committed example.
 """
 
 from __future__ import annotations
@@ -69,6 +77,8 @@ class ExperimentSpec:
     weight_low: float = 1.0
     weight_high: float = 10.0
     seed: int = 42
+    timesteps: int = 0
+    step_interval: float = 1.0
 
     def __post_init__(self) -> None:
         if not self.experiment_id:
@@ -111,6 +121,8 @@ class ExperimentSpec:
             seed=self.seed,
             selectors=self.selectors,
             topology=self.topology,
+            timesteps=self.timesteps,
+            step_interval=self.step_interval,
         )
 
     @classmethod
@@ -139,6 +151,8 @@ class ExperimentSpec:
             weight_low=config.weight_low,
             weight_high=config.weight_high,
             seed=config.seed,
+            timesteps=config.timesteps,
+            step_interval=config.step_interval,
         )
 
     def with_sweep_config(self, config: SweepConfig) -> "ExperimentSpec":
@@ -159,6 +173,8 @@ class ExperimentSpec:
             weight_low=config.weight_low,
             weight_high=config.weight_high,
             seed=config.seed,
+            timesteps=config.timesteps,
+            step_interval=config.step_interval,
         )
 
     def with_overrides(self, **overrides) -> "ExperimentSpec":
@@ -188,6 +204,8 @@ class ExperimentSpec:
             "weight_low": self.weight_low,
             "weight_high": self.weight_high,
             "seed": self.seed,
+            "timesteps": self.timesteps,
+            "step_interval": self.step_interval,
         }
 
     @classmethod

@@ -96,6 +96,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="nodes sampled per topology in set-size measures (0 or 'all' = every node)",
     )
     overrides.add_argument("--seed", type=int, default=None, help="root random seed")
+    overrides.add_argument(
+        "--timesteps",
+        type=int,
+        default=None,
+        help="timesteps each trial's topology advances through (dynamic sweeps; 0 = static)",
+    )
+    overrides.add_argument(
+        "--step-interval",
+        type=float,
+        default=None,
+        help="simulated time units per timestep (dynamic sweeps)",
+    )
 
     outputs = parser.add_argument_group("outputs (result sinks)")
     outputs.add_argument("--output", default=None, help="write the text report to this file")
@@ -118,9 +130,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def render_registries() -> str:
-    """The ``--list`` output: every registry section with its entries and descriptions."""
+    """The ``--list`` output: every registry section with its entries and descriptions.
+
+    Sections are emitted in sorted section-name order and entries in sorted entry order,
+    independent of registration or ``ALL_REGISTRIES`` construction order, so the output is
+    stable enough to golden-test (``tests/test_sweep_cli_and_sinks.py`` pins it against
+    ``tests/data/sweep_list_golden.txt``).
+    """
     lines: List[str] = []
-    for section, registry in ALL_REGISTRIES.items():
+    for section, registry in sorted(ALL_REGISTRIES.items()):
         lines.append(f"{section} ({registry.kind} registry):")
         descriptions = registry.describe()
         if not descriptions:
@@ -166,6 +184,8 @@ def _apply_overrides(spec: ExperimentSpec, args: argparse.Namespace) -> Experime
         ("runs", args.runs),
         ("pairs_per_run", args.pairs),
         ("seed", args.seed),
+        ("timesteps", args.timesteps),
+        ("step_interval", args.step_interval),
     ):
         if value is not None:
             overrides[spec_field] = value

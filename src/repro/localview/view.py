@@ -85,6 +85,19 @@ class LocalView:
         }
 
     @classmethod
+    def from_adjacency(
+        cls, adjacency, owner: NodeId, shared: Optional[Dict[int, dict]] = None
+    ) -> "LocalView":
+        """Build one view from a networkx adjacency mapping, sharing attribute copies.
+
+        The batch-rebuild hook of the dynamic-topology driver: pass the same ``shared``
+        dictionary across several calls and each physical link's attribute dictionary is
+        copied once and shared between the views built in the batch, exactly as
+        :meth:`all_from_network` does for a full-network build.
+        """
+        return cls._from_adjacency(adjacency, owner, {} if shared is None else shared)
+
+    @classmethod
     def _from_adjacency(cls, adjacency, owner: NodeId, shared: Dict[int, dict]) -> "LocalView":
         """Build one view directly from a networkx adjacency mapping.
 

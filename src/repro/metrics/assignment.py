@@ -36,6 +36,12 @@ class WeightAssigner(ABC):
     #: The metric whose edge attribute this assigner populates.
     metric: Metric
 
+    #: True when a link's weight does not depend on node positions (only on the edge and
+    #: the assigner's own state).  The dynamic-topology driver requires this: it draws a
+    #: link's weights once, when the link (re)appears, so a position-dependent draw would
+    #: silently go stale as nodes move (see :class:`repro.mobility.dynamic.DynamicTopology`).
+    position_independent: bool = True
+
     @abstractmethod
     def assign(self, edges: list[Edge], positions: Mapping[NodeId, Tuple[float, float]]) -> Dict[Edge, float]:
         """Return a weight for every edge (keys are canonical edges)."""
@@ -102,6 +108,8 @@ class DistanceProportionalAssigner(WeightAssigner):
     metric: Metric
     scale: float = 0.01
     offset: float = 1.0
+
+    position_independent = False
 
     def assign(
         self,

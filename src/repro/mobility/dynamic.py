@@ -1,0 +1,230 @@
+"""The dynamic-topology driver: advance a network through timesteps, incrementally.
+
+:class:`DynamicTopology` owns one :class:`~repro.topology.network.Network` plus the batch of
+per-node :class:`~repro.localview.view.LocalView` objects built on it, and applies a
+:class:`~repro.mobility.models.TrajectoryStepper`'s world states step by step.  The whole
+point is *incrementality*: a small timestep changes few links, so instead of regenerating
+the network and rebuilding every view (and with them every per-metric compact graph and
+bottleneck forest) from scratch, :meth:`advance` diffs the unit-disk link set against the
+current one and
+
+* removes/adds only the changed links on the shared networkx graph (new links get their
+  weights from the same pure per-edge assigner draws a full regeneration would use, so the
+  incremental network is bit-identical to a from-scratch rebuild);
+* rebuilds only the views whose two-hop neighborhood a structural change touched (the
+  owners ``{u, v} ∪ N(u) ∪ N(v)`` of each flipped link, unioned over the pre- and
+  post-change adjacency);
+* routes pure weight changes through the sanctioned
+  :meth:`LocalView.update_link <repro.localview.view.LocalView.update_link>` mutation path
+  of every view that knows the link, which drops exactly the affected views' caches via
+  ``invalidate_caches``.
+
+Every untouched view keeps its cached compact graphs and bottleneck forests warm across the
+step -- that is the measured speedup of the ``mobility`` section of ``BENCH_selection.json``.
+
+``incremental=False`` switches the driver to the naïve baseline -- rebuild the network and
+drop all views every step -- used by the differential tests (both modes must produce
+bit-identical networks and views) and as the benchmark reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.localview.view import LocalView
+from repro.metrics.assignment import Edge, WeightAssigner
+from repro.mobility.models import TrajectoryStepper, WorldState
+from repro.topology.network import Network
+from repro.topology.unit_disk import unit_disk_links
+from repro.utils.ids import NodeId
+from repro.utils.validation import require_positive
+
+
+@dataclass(frozen=True)
+class StepDelta:
+    """What one :meth:`DynamicTopology.advance` changed, for measures and diagnostics."""
+
+    step: int
+    added: Tuple[Edge, ...]
+    removed: Tuple[Edge, ...]
+    reweighted: Tuple[Edge, ...]
+
+    @property
+    def link_churn(self) -> int:
+        """Physical links flipped this step (the added + removed count)."""
+        return len(self.added) + len(self.removed)
+
+
+class DynamicTopology:
+    """A network advanced through timesteps by diffing link sets and weights.
+
+    The driver's :attr:`network` and the views returned by :meth:`views` are live objects:
+    each :meth:`advance` mutates them in place (that is what makes the step path cheap).
+    Callers that need a frozen snapshot of some step must copy before advancing.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        stepper: TrajectoryStepper,
+        radius: float,
+        weight_assigners: Sequence[WeightAssigner] = (),
+        step_interval: float = 1.0,
+        incremental: bool = True,
+    ) -> None:
+        require_positive(radius, "radius")
+        require_positive(step_interval, "step_interval")
+        for assigner in weight_assigners:
+            if not getattr(assigner, "position_independent", True):
+                # Weights are drawn at link birth and kept until the model re-measures
+                # them; a position-dependent draw would silently go stale as nodes move
+                # (and diverge from the rebuild baseline), so it is rejected up front.
+                raise ValueError(
+                    f"dynamic topologies require position-independent weight assigners; "
+                    f"{type(assigner).__name__} (metric {assigner.metric.name!r}) recomputes "
+                    f"weights from node positions"
+                )
+        self.network = network
+        self.radius = radius
+        self.weight_assigners = tuple(weight_assigners)
+        self.step_interval = step_interval
+        self.incremental = incremental
+        self.step_index = 0
+        self._stepper = stepper
+        self._views: Optional[Dict[NodeId, LocalView]] = None
+        self._edges: Set[Edge] = set(network.links())
+        self._static_links: Optional[List[Edge]] = None
+        self._last_positions: Optional[object] = None
+
+    # ------------------------------------------------------------------ views
+
+    def views(self) -> Dict[NodeId, LocalView]:
+        """Every node's local view of the *current* step (maintained incrementally)."""
+        if self._views is None:
+            self._views = LocalView.all_from_network(self.network)
+        return self._views
+
+    # ------------------------------------------------------------------ stepping
+
+    def advance(self) -> StepDelta:
+        """Advance one timestep and return what changed."""
+        self.step_index += 1
+        world = self._stepper.step(self.step_interval)
+        target = self._target_links(world)
+        if not self.incremental:
+            return self._rebuild(world, target)
+
+        removed = sorted(self._edges - target)
+        added = sorted(target - self._edges)
+        graph = self.network.graph
+
+        # Owners whose view structure a flipped link touches: the link's endpoints plus
+        # every pre-change neighbor of either endpoint (post-change neighbors are added
+        # below, after the graph mutation).
+        track_views = self._views is not None
+        affected: Set[NodeId] = set()
+        if track_views:
+            for u, v in removed + added:
+                affected.add(u)
+                affected.add(v)
+                affected.update(graph.adj[u])
+                affected.update(graph.adj[v])
+
+        for node, position in world.positions.items():
+            graph.nodes[node]["pos"] = (float(position[0]), float(position[1]))
+        for u, v in removed:
+            graph.remove_edge(u, v)
+        for u, v in added:
+            self.network.add_link(u, v, **self._link_weights((u, v), world))
+
+        if track_views:
+            for u, v in added + removed:
+                affected.update(graph.adj[u])
+                affected.update(graph.adj[v])
+
+        # Weight-only changes on links that persisted through the step.
+        reweighted = sorted(
+            edge for edge in world.changed_weights if edge in target and edge in self._edges
+        )
+        for u, v in reweighted:
+            graph.edges[u, v].update(world.weight_overrides[(u, v)])
+
+        if track_views:
+            views = self._views
+            if len(affected) * 2 >= len(views):
+                # The step touched most of the network: one batched rebuild (shared
+                # attribute dictionaries, single adjacency pass) beats per-owner rebuilds.
+                # The dict object stays the same -- views() hands out a live mapping and
+                # callers hold on to it across steps.
+                views.clear()
+                views.update(LocalView.all_from_network(self.network))
+            else:
+                shared: Dict[int, dict] = {}
+                adjacency = graph.adj
+                for owner in affected:
+                    views[owner] = LocalView.from_adjacency(adjacency, owner, shared)
+                for u, v in reweighted:
+                    overrides = world.weight_overrides[(u, v)]
+                    for owner in ({u, v} | set(graph.adj[u]) | set(graph.adj[v])) - affected:
+                        views[owner].update_link(u, v, **overrides)
+
+        self._edges = target
+        return StepDelta(
+            step=self.step_index,
+            added=tuple(added),
+            removed=tuple(removed),
+            reweighted=tuple(reweighted),
+        )
+
+    # ------------------------------------------------------------------ internals
+
+    def _target_links(self, world: WorldState) -> Set[Edge]:
+        """The canonical link set of this step: unit-disk links minus forced outages."""
+        if world.positions is self._last_positions and self._static_links is not None:
+            links = self._static_links
+        else:
+            links = unit_disk_links(world.positions, self.radius)
+            self._static_links = links
+            self._last_positions = world.positions
+        if not world.down_links:
+            return set(links)
+        return {edge for edge in links if edge not in world.down_links}
+
+    def _link_weights(self, edge: Edge, world: WorldState) -> Dict[str, float]:
+        """A (re)appearing link's attributes: pure per-edge assigner draws plus overrides.
+
+        Assigner draws are pure, position-independent functions of ``(seed, metric,
+        edge)`` (enforced at construction), so an incrementally added link carries exactly
+        the weights a from-scratch regeneration assigns it.
+        """
+        attributes: Dict[str, float] = {}
+        for assigner in self.weight_assigners:
+            attributes[assigner.metric.name] = assigner.assign([edge], world.positions)[edge]
+        attributes.update(world.weight_overrides.get(edge, {}))
+        return attributes
+
+    def _rebuild(self, world: WorldState, target: Set[Edge]) -> StepDelta:
+        """The naïve per-step regeneration baseline: fresh network, all views dropped."""
+        removed = sorted(self._edges - target)
+        added = sorted(target - self._edges)
+        reweighted = sorted(
+            edge for edge in world.changed_weights if edge in target and edge in self._edges
+        )
+        # Repopulate the existing Network object so the driver's live-ownership contract
+        # (self.network is mutated in place, never swapped) holds in this mode too --
+        # callers may have handed the network to builders or routers before the step.
+        network = self.network
+        network.graph.clear()
+        for node, position in world.positions.items():
+            network.add_node(node, position)
+        for edge in sorted(target):
+            network.add_link(*edge, **self._link_weights(edge, world))
+        self._views = None
+        self._edges = target
+        return StepDelta(
+            step=self.step_index,
+            added=tuple(added),
+            removed=tuple(removed),
+            reweighted=tuple(reweighted),
+        )

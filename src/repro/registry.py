@@ -197,12 +197,14 @@ def _load_builtin_metrics() -> None:
 
 @TOPOLOGY_MODELS.on_populate
 def _load_builtin_topology_models() -> None:
+    import repro.mobility.models  # noqa: F401
     import repro.topology.generators  # noqa: F401
 
 
 @MEASURES.on_populate
 def _load_builtin_measures() -> None:
     import repro.experiments.measures  # noqa: F401
+    import repro.mobility.measures  # noqa: F401
 
 
 @SINKS.on_populate

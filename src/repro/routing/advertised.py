@@ -206,6 +206,23 @@ class AdvertisedTopologyBuilder:
             graph=graph, ans_sets=ans_sets, _builder=self, _generation=self._generation
         )
 
+    def refresh_attributes(self, edges) -> None:
+        """Re-copy the network's current attributes of the given links into the working graph.
+
+        The edge diff of :meth:`build` leaves persisted links' attribute copies untouched,
+        which is correct while the network's weights are immutable (every static sweep) but
+        stale once they change underneath -- a dynamic trial whose churn model re-measures
+        a link that stays advertised.  Callers advancing a
+        :class:`~repro.mobility.dynamic.DynamicTopology` pass each step's reweighted edges
+        here (see ``_route_stability_trial``); links not currently materialized are
+        ignored (they get fresh attributes whenever a build adds them).
+        """
+        graph = self._graph
+        network = self._network
+        for u, v in edges:
+            if frozenset((u, v)) in self._edges:
+                graph.edges[u, v].update(network.link_attributes(u, v))
+
 
 def advertise(
     network: Network,

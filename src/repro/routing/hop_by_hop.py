@@ -15,7 +15,7 @@ the traversed path computed on the *true* link weights of the network.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
@@ -26,6 +26,22 @@ from repro.metrics.ordering import preferred_neighbor
 from repro.routing.advertised import AdvertisedTopology
 from repro.topology.network import Network
 from repro.utils.ids import NodeId
+
+
+def hello_learned_edges(network: Network, source: NodeId):
+    """The ``(neighbor, other, attributes)`` link triples ``source`` knows from HELLOs.
+
+    RFC 3626's route calculation seeds the routing table with the one- and two-hop links
+    learned from HELLO piggybacking -- every link incident to a one-hop neighbor of the
+    source.  This single walk (in adjacency order) is the definition both consumers share:
+    the router's default per-source walk and the per-trial cache
+    (:meth:`repro.experiments.runner.Trial.link_state_edges`) that shares one walk across
+    the routers of every selector.
+    """
+    adjacency = network.graph.adj
+    for neighbor in adjacency[source]:
+        for other, attributes in adjacency[neighbor].items():
+            yield (neighbor, other, attributes)
 
 
 @dataclass(frozen=True)
@@ -62,14 +78,34 @@ class HopByHopRouter:
     than silently mixing selections.
     """
 
-    def __init__(self, network: Network, advertised: AdvertisedTopology, metric: Metric):
+    def __init__(
+        self,
+        network: Network,
+        advertised: AdvertisedTopology,
+        metric: Metric,
+        local_edges: Optional[Callable[[NodeId], Sequence[Tuple]]] = None,
+    ):
+        """``local_edges`` optionally supplies a source's HELLO-learned link triples
+        ``(neighbor, other, attributes)``; they depend only on the physical network, so a
+        caller comparing several advertised topologies on one network (the overhead sweep)
+        shares one per-source walk across all of its routers via
+        :meth:`repro.experiments.runner.Trial.link_state_edges` instead of the router
+        re-walking the adjacency per source (:meth:`_default_local_edges`, which is the
+        same code path the cache precomputes).  Injected triples must match the default
+        walk's enumeration (every link incident to a one-hop neighbor of the source, in
+        adjacency order), keeping results bit-identical either way."""
         self.network = network
         self.advertised = advertised
         self.metric = metric
+        self.local_edges = local_edges if local_edges is not None else self._default_local_edges
         self._advertised_compact: Optional[CompactGraph] = None
         self._advertised_compact_failed = False
         self._knowledge_source: Optional[NodeId] = None
         self._knowledge_graph: Optional[nx.Graph] = None
+
+    def _default_local_edges(self, source: NodeId):
+        """The source's HELLO-learned link triples, walked from the network adjacency."""
+        return hello_learned_edges(self.network, source)
 
     def _advertised_compact_graph(self) -> Optional[CompactGraph]:
         """One flat snapshot of the advertised topology, shared by every next-hop solve.
@@ -216,10 +252,8 @@ class HopByHopRouter:
         else:
             knowledge = self.advertised.graph.copy()
             knowledge.add_node(source)
-            adjacency = self.network.graph.adj
-            for neighbor in adjacency[source]:
-                for other, attributes in adjacency[neighbor].items():
-                    knowledge.add_edge(neighbor, other, **attributes)
+            for neighbor, other, attributes in self.local_edges(source):
+                knowledge.add_edge(neighbor, other, **attributes)
             self._knowledge_source = source
             self._knowledge_graph = knowledge
 

@@ -229,6 +229,41 @@ class TestIncrementalAdvertisedTopologyMatchesFullRebuild:
             builder.build({nodes[0]: frozenset({non_neighbor})})
 
 
+class TestSharedLinkStateEdgesMatchPerRouterWalks:
+    @pytest.mark.parametrize("seed", range(0, TOPOLOGY_COUNT, 5))
+    def test_routers_with_trial_shared_edges_route_bit_identically(self, seed):
+        """One per-source HELLO-edge walk shared across every selector's router (the
+        Trial.link_state_edges cache) yields exactly the outcomes of the per-router
+        adjacency walk it replaced, for every selector, pair and metric family."""
+        from repro.experiments.runner import Trial
+        from repro.routing.hop_by_hop import HopByHopRouter
+
+        network = unit_disk_network(seed)
+        config = smoke_config("bandwidth")
+        nodes = network.nodes()
+        pairs = [(nodes[i], nodes[-1 - i]) for i in range(min(4, len(nodes) // 2))]
+        for metric in (BANDWIDTH, DELAY, COMPOSITE):
+            views = LocalView.all_from_network(network)
+            trial = Trial(
+                config=config,
+                metric=metric,
+                density=8.0,
+                run_index=0,
+                network=network,
+            )
+            for name in ("qolsr-mpr2", "topology-filtering", "fnbp"):
+                selections = run_selection(network, make_selector(name), metric, views=views)
+                advertised = build_advertised_topology(network, selections)
+                shared = HopByHopRouter(
+                    network, advertised, metric, local_edges=trial.link_state_edges
+                )
+                plain = HopByHopRouter(network, advertised, metric)
+                for source, destination in pairs:
+                    assert shared.link_state_route(source, destination) == (
+                        plain.link_state_route(source, destination)
+                    ), (seed, metric.name, name, source, destination)
+
+
 class TestSweepsUnchangedByCaching:
     def test_overhead_sweep_equals_cache_free_reference(self):
         """The full fig-8 pipeline (selection -> incremental advertised topology -> cached

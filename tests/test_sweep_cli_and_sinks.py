@@ -77,6 +77,23 @@ class TestSweepCliParsing:
             assert section in out
         assert "fnbp" in out and "poisson" in out and "jsonl" in out
 
+    def test_list_output_is_pinned_to_the_committed_golden(self, capsys):
+        """``--list`` is deterministically ordered (sorted sections, sorted entries) and
+        byte-identical to ``tests/data/sweep_list_golden.txt``; registering or renaming an
+        entry must update the golden, which documents every extension point's surface."""
+        golden = Path(__file__).resolve().parent / "data" / "sweep_list_golden.txt"
+        assert sweep_cli.main(["--list"]) == 0
+        assert capsys.readouterr().out == golden.read_text()
+        assert sweep_cli.render_registries() + "\n" == golden.read_text()
+
+    def test_timestep_flags_parse_and_reach_the_spec(self):
+        args = sweep_cli.build_parser().parse_args(
+            ["--preset", "mobility-churn", "--timesteps", "5", "--step-interval", "0.5"]
+        )
+        assert args.timesteps == 5 and args.step_interval == 0.5
+        spec = sweep_cli._apply_overrides(sweep_cli._base_spec(args, sweep_cli.build_parser()), args)
+        assert spec.timesteps == 5 and spec.step_interval == 0.5
+
 
 class TestSweepCliEndToEnd:
     def test_example_spec_runs_with_all_sinks(self, tmp_path, capsys):
@@ -117,6 +134,26 @@ class TestSweepCliEndToEnd:
         # Events arrive in sweep order: every trial of a density precedes its density line.
         assert kinds.index("density") > kinds.index("trial")
         assert events[0]["spec"] == spec.to_dict()
+
+    def test_mobility_example_spec_streams_per_timestep_points(self, tmp_path):
+        """The committed dynamic-sweep example (also smoke-run in CI): a random-waypoint
+        churn sweep whose density checkpoints carry per-timestep curves."""
+        spec_path = EXAMPLE_SPEC.parent / "mobility_churn_sweep.json"
+        jsonl_output = tmp_path / "events.jsonl"
+        exit_code = sweep_cli.main(
+            ["--spec", str(spec_path), "--quiet", "--jsonl", str(jsonl_output)]
+        )
+        assert exit_code == 0
+        spec = ExperimentSpec.load(spec_path)
+        events = [json.loads(line) for line in jsonl_output.read_text().splitlines()]
+        assert events[0]["spec"]["timesteps"] == spec.timesteps > 0
+        density_events = [event for event in events if event["event"] == "density"]
+        assert len(density_events) == len(spec.densities)
+        for event in density_events:
+            for name in spec.selectors:
+                point = event["series"][name]
+                assert len(point["per_step_mean"]) == spec.timesteps
+        assert events[-1]["event"] == "result"
 
     def test_preset_with_overrides_runs(self, tmp_path):
         json_output = tmp_path / "results.json"
