@@ -26,7 +26,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.core.selection import make_selector  # noqa: E402
+from repro.core.selection import SelectionCache, make_selector  # noqa: E402
 from repro.experiments.config import SweepConfig  # noqa: E402
 from repro.experiments.engine import run_experiment  # noqa: E402
 from repro.experiments.measures import _ans_size_trial  # noqa: E402
@@ -239,6 +239,91 @@ def record_mobility(rounds: int) -> dict:
     }
 
 
+def record_incremental_selection(rounds: int) -> dict:
+    """Dirty-set cached re-selection vs from-scratch per-step selection on the step path.
+
+    One timed round advances a dense random-waypoint network through several timesteps and,
+    after each step (plus once at time zero), computes every paper selector's advertised
+    sets at every node -- the selection workload of the dynamic measures.  Both paths use
+    the PR-4 incremental step path (diffed links, warm view caches); the difference is the
+    selection layer on top:
+
+    * ``from_scratch`` is the PR-4 behavior: every step re-runs every selector on every
+      node, even in neighborhoods no link flip touched;
+    * ``cached`` routes the same workload through a :class:`SelectionCache` invalidated by
+      each step's ``StepDelta.dirty`` set, so only owners whose local view changed re-run
+      the selector and everyone else reuses the previous step's results (bit-identical,
+      pinned by ``tests/test_incremental_selection.py``).
+
+    Recorded in the same two regimes as the ``mobility`` section: ``clustered`` (10% of
+    nodes mobile; dirt localizes, most selections are reused -- the headline
+    ``incremental_speedup``) and ``full`` (every node mobile; most views are dirtied each
+    step, so the cache's win shrinks toward the cost of the bookkeeping).
+    """
+    metric = BandwidthMetric()
+    steps = 5
+
+    def scenario(mobile_fraction: float) -> dict:
+        generator = RandomWaypointGenerator(
+            field=FieldSpec(width=420.0, height=420.0, radius=100.0),
+            node_count=110,
+            seed=13,
+            weight_assigners=(UniformWeightAssigner(metric=metric, low=1.0, high=10.0, seed=31),),
+            speed_low=1.0,
+            speed_high=4.0,
+            pause_high=0.5,
+            mobile_fraction=mobile_fraction,
+        )
+
+        def run(cached: bool) -> None:
+            dynamic = generator.dynamic()
+            dynamic.views()
+            if cached:
+                cache = SelectionCache()
+                dynamic.add_step_listener(cache.on_step)
+
+                def select_everywhere() -> None:
+                    views = dynamic.views()
+                    for name in ADVERTISED_SELECTORS:
+                        cache.select_all(name, metric, views, network=dynamic.network)
+
+            else:
+
+                def select_everywhere() -> None:
+                    views = dynamic.views()
+                    for name in ADVERTISED_SELECTORS:
+                        selector = make_selector(name)
+                        for view in views.values():
+                            selector.select(view, metric)
+
+            select_everywhere()
+            for _ in range(steps):
+                dynamic.advance()
+                select_everywhere()
+
+        cached_timing = time_case(lambda: run(True), rounds)
+        scratch_timing = time_case(lambda: run(False), rounds)
+        probe = generator.dynamic()
+        return {
+            "network": {"nodes": len(probe.network), "links": probe.network.number_of_links()},
+            "mobile_fraction": mobile_fraction,
+            "selectors": list(ADVERTISED_SELECTORS),
+            "cached": cached_timing,
+            "from_scratch": scratch_timing,
+            "incremental_speedup": scratch_timing["min_s"] / cached_timing["min_s"],
+        }
+
+    clustered = scenario(0.1)
+    full = scenario(1.0)
+    return {
+        "model": "rwp",
+        "steps_per_round": steps,
+        "clustered": clustered,
+        "full": full,
+        "incremental_speedup": clustered["incremental_speedup"],
+    }
+
+
 def _legacy_ans_size_sweep(config: SweepConfig, metric) -> ExperimentResult:
     """The pre-redesign direct-call harness, kept inline as the benchmark reference.
 
@@ -339,6 +424,7 @@ def record(rounds: int) -> dict:
         "advertised_topology": record_advertised_topology(max(5, rounds // 4)),
         "engine_dispatch": record_engine_dispatch(max(5, rounds // 4)),
         "mobility": record_mobility(max(3, rounds // 8)),
+        "incremental_selection": record_incremental_selection(max(3, rounds // 8)),
     }
 
 
@@ -383,6 +469,14 @@ def main(argv=None) -> int:
             f"rebuild {mobility['rebuild']['min_s'] * 1e3:.3f} ms  "
             f"incremental {mobility['incremental']['min_s'] * 1e3:.3f} ms  "
             f"({mobility['incremental_speedup']:.2f}x)"
+        )
+    for regime in ("clustered", "full"):
+        selection = payload["incremental_selection"][regime]
+        print(
+            f"incremental selection ({regime}, {selection['mobile_fraction']:.0%} mobile): "
+            f"from-scratch {selection['from_scratch']['min_s'] * 1e3:.3f} ms  "
+            f"cached {selection['cached']['min_s'] * 1e3:.3f} ms  "
+            f"({selection['incremental_speedup']:.2f}x)"
         )
     print(f"wrote {args.output}")
     return 0

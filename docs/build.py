@@ -1,0 +1,402 @@
+"""Offline documentation builder: docs/*.md -> static HTML, warnings-as-errors.
+
+The docs tree is laid out MkDocs-style (pages under ``docs/``, navigation in the root
+``mkdocs.yml``), so environments that have MkDocs installed can use it directly -- but the
+repository must be buildable *offline with the standard library only* (the CI image and the
+development containers deliberately carry no documentation toolchain).  This script is that
+builder: a small, dependency-free Markdown subset renderer plus the checks that keep the
+suite from rotting::
+
+    python docs/build.py --strict --site-dir site     # build, any warning = build failure
+    python docs/build.py --check-only --strict        # link/nav/fence checks, no output
+
+Checks (all fatal under ``--strict``):
+
+* every page listed in the ``mkdocs.yml`` nav exists, and every ``docs/*.md`` page is
+  reachable from the nav (no orphans);
+* every internal link resolves: ``page.md`` targets must be known pages, ``#anchor``
+  fragments must match a real heading slug of the target page, and relative file links
+  (``../examples/...``) must exist in the repository;
+* external links must carry an explicit ``http(s)://`` or ``mailto:`` scheme;
+* code fences must be balanced.
+
+The renderer covers the subset the suite uses: ATX headings (anchored with GitHub-style
+slugs), fenced code blocks, pipe tables, nested unordered/ordered lists, blockquotes,
+paragraphs, and inline code/bold/italics/links.  Unknown constructs degrade to plain
+paragraphs rather than being silently dropped.
+"""
+
+from __future__ import annotations
+
+import argparse
+import html
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+DOCS_DIR = Path(__file__).resolve().parent
+REPO_ROOT = DOCS_DIR.parent
+MKDOCS_YML = REPO_ROOT / "mkdocs.yml"
+
+_LINK_RE = re.compile(r"\[([^\]]*)\]\(([^)\s]+)\)")
+_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*$")
+_NAV_ENTRY_RE = re.compile(r"^\s*-\s*(?:\"([^\"]+)\"|'([^']+)'|([^:]+))\s*:\s*(\S+\.md)\s*$")
+
+PAGE_TEMPLATE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>{title} — {site_name}</title>
+<style>
+body {{ margin: 0; font-family: -apple-system, "Segoe UI", Roboto, sans-serif;
+       color: #1d2430; line-height: 1.55; }}
+.layout {{ display: flex; min-height: 100vh; }}
+nav {{ width: 230px; flex-shrink: 0; background: #f4f6f8; border-right: 1px solid #dde3ea;
+      padding: 1.2rem 1rem; }}
+nav .site {{ font-weight: 700; margin-bottom: 1rem; display: block; color: #1d2430;
+            text-decoration: none; }}
+nav a {{ display: block; padding: 0.25rem 0.4rem; color: #33415c; text-decoration: none;
+        border-radius: 4px; }}
+nav a:hover {{ background: #e6ebf1; }}
+nav a.current {{ background: #dbe4f0; font-weight: 600; }}
+main {{ max-width: 46rem; padding: 1.5rem 2.5rem 4rem; }}
+h1, h2, h3, h4 {{ line-height: 1.25; }}
+h2 {{ border-bottom: 1px solid #e3e8ee; padding-bottom: 0.25rem; margin-top: 2rem; }}
+code {{ background: #f0f2f5; padding: 0.1rem 0.3rem; border-radius: 3px;
+       font-size: 0.92em; }}
+pre {{ background: #0f172a; color: #e2e8f0; padding: 0.9rem 1.1rem; border-radius: 6px;
+      overflow-x: auto; }}
+pre code {{ background: none; padding: 0; color: inherit; }}
+table {{ border-collapse: collapse; margin: 1rem 0; }}
+th, td {{ border: 1px solid #d5dce4; padding: 0.35rem 0.7rem; text-align: left;
+         vertical-align: top; }}
+th {{ background: #f4f6f8; }}
+blockquote {{ border-left: 4px solid #c6d2e0; margin: 1rem 0; padding: 0.1rem 1rem;
+             color: #46536a; background: #f8fafc; }}
+a {{ color: #175fba; }}
+</style>
+</head>
+<body>
+<div class="layout">
+<nav>
+<a class="site" href="index.html">{site_name}</a>
+{nav}
+</nav>
+<main>
+{content}
+</main>
+</div>
+</body>
+</html>
+"""
+
+
+def github_slug(text: str, taken: Optional[Dict[str, int]] = None) -> str:
+    """GitHub-style anchor slug of a heading (lowercase, punctuation stripped)."""
+    slug = re.sub(r"[^\w\- ]", "", text.strip().lower()).replace(" ", "-")
+    if taken is None:
+        return slug
+    count = taken.get(slug, 0)
+    taken[slug] = count + 1
+    return slug if count == 0 else f"{slug}-{count}"
+
+
+def _inline(text: str) -> str:
+    """Render inline Markdown (code spans, links, bold, italics) to HTML."""
+    placeholders: List[str] = []
+
+    def protect(fragment: str) -> str:
+        placeholders.append(fragment)
+        return f"\x00{len(placeholders) - 1}\x00"
+
+    text = html.escape(text, quote=False)
+    text = re.sub(
+        r"`([^`]+)`", lambda m: protect(f"<code>{m.group(1)}</code>"), text
+    )
+
+    def link(match: re.Match) -> str:
+        label, target = match.group(1), match.group(2)
+        if target.endswith(".md") or ".md#" in target:
+            target = target.replace(".md", ".html", 1)
+        return protect(f'<a href="{html.escape(target, quote=True)}">{label}</a>')
+
+    text = _LINK_RE.sub(link, text)
+    text = re.sub(r"\*\*([^*]+)\*\*", r"<strong>\1</strong>", text)
+    text = re.sub(r"(?<![\w*])\*([^*\s][^*]*)\*(?![\w*])", r"<em>\1</em>", text)
+    return re.sub(r"\x00(\d+)\x00", lambda m: placeholders[int(m.group(1))], text)
+
+
+class Page:
+    """One parsed Markdown page: title, heading slugs, links, rendered body."""
+
+    def __init__(self, path: Path, markdown: str) -> None:
+        self.path = path
+        self.markdown = markdown
+        self.slugs: List[str] = []
+        self.title = path.stem
+        self.html = self._render()
+
+    # ------------------------------------------------------------------ rendering
+
+    def _render(self) -> str:
+        out: List[str] = []
+        lines = self.markdown.splitlines()
+        taken: Dict[str, int] = {}
+        i = 0
+        saw_h1 = False
+        while i < len(lines):
+            line = lines[i]
+            stripped = line.strip()
+            if stripped.startswith("```"):
+                language = stripped[3:].strip().split()[0] if stripped[3:].strip() else ""
+                body: List[str] = []
+                i += 1
+                while i < len(lines) and not lines[i].strip().startswith("```"):
+                    body.append(lines[i])
+                    i += 1
+                i += 1  # closing fence
+                class_attr = f' class="language-{html.escape(language)}"' if language else ""
+                out.append(f"<pre><code{class_attr}>{html.escape(chr(10).join(body))}</code></pre>")
+                continue
+            heading = _HEADING_RE.match(line)
+            if heading:
+                level = len(heading.group(1))
+                text = heading.group(2)
+                slug = github_slug(text, taken)
+                self.slugs.append(slug)
+                if level == 1 and not saw_h1:
+                    self.title = text
+                    saw_h1 = True
+                out.append(f'<h{level} id="{slug}">{_inline(text)}</h{level}>')
+                i += 1
+                continue
+            if stripped.startswith("|") and i + 1 < len(lines) and set(
+                lines[i + 1].replace("|", "").replace(":", "").strip()
+            ) <= {"-"} and "-" in lines[i + 1]:
+                i = self._render_table(lines, i, out)
+                continue
+            if re.match(r"^\s*([-*]|\d+\.)\s+", line):
+                i = self._render_list(lines, i, out)
+                continue
+            if stripped.startswith(">"):
+                quoted: List[str] = []
+                while i < len(lines) and lines[i].strip().startswith(">"):
+                    quoted.append(lines[i].strip()[1:].strip())
+                    i += 1
+                out.append(f"<blockquote><p>{_inline(' '.join(quoted))}</p></blockquote>")
+                continue
+            if not stripped:
+                i += 1
+                continue
+            paragraph: List[str] = []
+            while i < len(lines) and lines[i].strip() and not _is_block_start(lines[i]):
+                paragraph.append(lines[i].strip())
+                i += 1
+            if paragraph:
+                out.append(f"<p>{_inline(' '.join(paragraph))}</p>")
+            else:  # a block construct directly after a paragraph boundary
+                i += 1
+        return "\n".join(out)
+
+    def _render_table(self, lines: List[str], i: int, out: List[str]) -> int:
+        def cells(row: str) -> List[str]:
+            return [cell.strip() for cell in row.strip().strip("|").split("|")]
+
+        header = cells(lines[i])
+        i += 2  # skip the separator row
+        out.append("<table>")
+        out.append("<tr>" + "".join(f"<th>{_inline(cell)}</th>" for cell in header) + "</tr>")
+        while i < len(lines) and lines[i].strip().startswith("|"):
+            out.append(
+                "<tr>" + "".join(f"<td>{_inline(cell)}</td>" for cell in cells(lines[i])) + "</tr>"
+            )
+            i += 1
+        out.append("</table>")
+        return i
+
+    def _render_list(self, lines: List[str], i: int, out: List[str]) -> int:
+        item_re = re.compile(r"^(\s*)([-*]|\d+\.)\s+(.*)$")
+        first = item_re.match(lines[i])
+        ordered = first.group(2) not in "-*"
+        base_indent = len(first.group(1))
+        tag = "ol" if ordered else "ul"
+        out.append(f"<{tag}>")
+        open_item = False
+        while i < len(lines):
+            match = item_re.match(lines[i])
+            if match and len(match.group(1)) == base_indent:
+                if open_item:
+                    out.append("</li>")
+                out.append(f"<li>{_inline(match.group(3))}")
+                open_item = True
+                i += 1
+            elif match and len(match.group(1)) > base_indent:
+                i = self._render_list(lines, i, out)
+            elif lines[i].strip() and lines[i].startswith(" " * (base_indent + 2)):
+                out.append(f" {_inline(lines[i].strip())}")
+                i += 1
+            else:
+                break
+        if open_item:
+            out.append("</li>")
+        out.append(f"</{tag}>")
+        return i
+
+
+def _is_block_start(line: str) -> bool:
+    stripped = line.strip()
+    return bool(
+        stripped.startswith(("```", "#", ">", "|"))
+        or re.match(r"^\s*([-*]|\d+\.)\s+", line)
+    )
+
+
+# ---------------------------------------------------------------------- nav + checks
+
+
+def parse_nav(mkdocs_yml: Path) -> Tuple[str, List[Tuple[str, str]]]:
+    """The ``(site_name, [(title, page.md), ...])`` navigation of ``mkdocs.yml``.
+
+    Parses the deliberately simple subset the committed file uses (flat ``- Title: page``
+    entries under ``nav:``), so the one navigation definition serves both this builder and
+    a real MkDocs install.
+    """
+    site_name = "documentation"
+    entries: List[Tuple[str, str]] = []
+    in_nav = False
+    for line in mkdocs_yml.read_text(encoding="utf-8").splitlines():
+        if line.startswith("site_name:"):
+            site_name = line.split(":", 1)[1].strip().strip("\"'")
+        if line.strip() == "nav:":
+            in_nav = True
+            continue
+        if in_nav:
+            match = _NAV_ENTRY_RE.match(line)
+            if match:
+                title = next(group for group in match.groups()[:3] if group)
+                entries.append((title.strip(), match.group(4)))
+            elif line.strip() and not line.startswith(" "):
+                in_nav = False
+    return site_name, entries
+
+
+def check_links(pages: Dict[str, Page], docs_dir: Path) -> List[str]:
+    """Every problem with every link of every page (empty = the suite is sound)."""
+    problems: List[str] = []
+    for name, page in pages.items():
+        fenced = re.sub(r"```.*?```", "", page.markdown, flags=re.DOTALL)
+        for match in _LINK_RE.finditer(fenced):
+            target = match.group(2)
+            where = f"{name}: link '{match.group(0)}'"
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            if "://" in target:
+                problems.append(f"{where}: unknown URL scheme")
+                continue
+            path_part, _, anchor = target.partition("#")
+            if not path_part:  # same-page anchor
+                if anchor not in page.slugs:
+                    problems.append(f"{where}: no heading with anchor #{anchor} on this page")
+                continue
+            if path_part.endswith(".md"):
+                if path_part not in pages:
+                    problems.append(f"{where}: page {path_part} does not exist")
+                elif anchor and anchor not in pages[path_part].slugs:
+                    problems.append(f"{where}: {path_part} has no anchor #{anchor}")
+                continue
+            if not (docs_dir / path_part).resolve().exists():
+                problems.append(f"{where}: file {path_part} does not exist")
+    return problems
+
+
+def check_fences(pages: Dict[str, Page]) -> List[str]:
+    problems = []
+    for name, page in pages.items():
+        fences = sum(
+            1 for line in page.markdown.splitlines() if line.strip().startswith("```")
+        )
+        if fences % 2:
+            problems.append(f"{name}: unbalanced code fences ({fences} markers)")
+    return problems
+
+
+def build(
+    docs_dir: Path = DOCS_DIR,
+    site_dir: Optional[Path] = None,
+    mkdocs_yml: Path = MKDOCS_YML,
+) -> List[str]:
+    """Run every check, render the site when ``site_dir`` is given, return the warnings."""
+    site_name, nav = parse_nav(mkdocs_yml)
+    warnings: List[str] = []
+    pages: Dict[str, Page] = {}
+    for path in sorted(docs_dir.glob("*.md")):
+        pages[path.name] = Page(path, path.read_text(encoding="utf-8"))
+
+    nav_pages = [target for _, target in nav]
+    for target in nav_pages:
+        if target not in pages:
+            warnings.append(f"mkdocs.yml: nav entry {target} has no docs/{target}")
+    for name in pages:
+        if name not in nav_pages:
+            warnings.append(f"{name}: page is not reachable from the mkdocs.yml nav")
+    if "index.md" not in pages:
+        warnings.append("docs/index.md is missing")
+
+    warnings.extend(check_fences(pages))
+    warnings.extend(check_links(pages, docs_dir))
+
+    if site_dir is not None and not warnings:
+        site_dir.mkdir(parents=True, exist_ok=True)
+        for title, target in nav:
+            if target not in pages:
+                continue
+            page = pages[target]
+            nav_html = "\n".join(
+                '<a href="{href}"{cls}>{title}</a>'.format(
+                    href=entry.replace(".md", ".html"),
+                    cls=' class="current"' if entry == target else "",
+                    title=html.escape(entry_title),
+                )
+                for entry_title, entry in nav
+            )
+            (site_dir / target.replace(".md", ".html")).write_text(
+                PAGE_TEMPLATE.format(
+                    title=html.escape(page.title),
+                    site_name=html.escape(site_name),
+                    nav=nav_html,
+                    content=page.html,
+                ),
+                encoding="utf-8",
+            )
+    return warnings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--site-dir", default=None, help="output directory for the HTML site")
+    parser.add_argument(
+        "--strict", action="store_true", help="treat every warning as a build failure"
+    )
+    parser.add_argument(
+        "--check-only", action="store_true", help="run the checks without writing HTML"
+    )
+    args = parser.parse_args(argv)
+
+    site_dir = None if args.check_only else Path(args.site_dir or REPO_ROOT / "site")
+    warnings = build(site_dir=site_dir)
+    for warning in warnings:
+        print(f"WARNING: {warning}", file=sys.stderr)
+    if warnings and args.strict:
+        print(f"docs build failed: {len(warnings)} warning(s) with --strict", file=sys.stderr)
+        return 1
+    if site_dir is not None and not warnings:
+        print(f"built {len(list(site_dir.glob('*.html')))} page(s) into {site_dir}")
+    elif not warnings:
+        print("docs checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,6 +8,7 @@ harness refers to them; registration of the built-ins happens lazily on first lo
 from repro.core.fnbp import FnbpSelector, LoopGuardPolicy, covering_relays
 from repro.core.selection import (
     AnsSelector,
+    SelectionCache,
     SelectionDecision,
     SelectionResult,
     available_selectors,
@@ -20,6 +21,7 @@ __all__ = [
     "LoopGuardPolicy",
     "covering_relays",
     "AnsSelector",
+    "SelectionCache",
     "SelectionDecision",
     "SelectionResult",
     "register_selector",

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, Iterable, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, Optional, Set, Tuple
 
 from repro.localview.view import LocalView
 from repro.metrics.base import Metric
@@ -91,21 +91,110 @@ class AnsSelector(ABC):
         network,
         metric: Metric,
         views: Optional[Dict[NodeId, LocalView]] = None,
+        previous: Optional[Dict[NodeId, SelectionResult]] = None,
+        dirty: Optional[Iterable[NodeId]] = None,
     ) -> Dict[NodeId, SelectionResult]:
         """Run the selection at every node of a network (convenience for experiments).
 
-        Views are built in one batched adjacency pass rather than node by node.  Callers
-        that run several selectors (or several metrics) on the same network should build
-        the batch once and pass it as ``views``: each view memoizes its per-metric compact
-        graph and bottleneck forest, so sharing the views shares that work across runs
-        (this is what the sweep harness does through :class:`repro.experiments.runner.Trial`).
+        Views are built in one batched adjacency pass rather than node by node (``network``
+        is only consulted when ``views`` is not supplied).  Callers that run several
+        selectors (or several metrics) on the same network should build the batch once and
+        pass it as ``views``: each view memoizes its per-metric compact graph and
+        bottleneck forest, so sharing the views shares that work across runs (this is what
+        the sweep harness does through :class:`repro.experiments.runner.Trial`).
+
+        ``previous`` and ``dirty`` (always passed together) make the run *incremental*:
+        ``previous`` is a complete earlier result on the same metric and ``dirty`` names
+        the owners whose local view has changed since.  Selection is a pure function of
+        ``(view, metric)``, so every owner outside ``dirty`` reuses its previous
+        :class:`SelectionResult` verbatim and only dirty (or newly appeared) owners re-run
+        the selector -- bit-identical to a from-scratch run, just cheaper.  Dynamic trials
+        drive this through :class:`SelectionCache` with the dirty sets reported by
+        :attr:`StepDelta.dirty <repro.mobility.dynamic.StepDelta.dirty>`.
         """
+        if (previous is None) != (dirty is None):
+            raise ValueError("previous and dirty must be passed together")
         if views is None:
             views = LocalView.all_from_network(network)
-        return {node: self.select(view, metric) for node, view in views.items()}
+        if previous is None:
+            return {node: self.select(view, metric) for node, view in views.items()}
+        if not isinstance(dirty, (set, frozenset)):
+            dirty = set(dirty)
+        results: Dict[NodeId, SelectionResult] = {}
+        for node, view in views.items():
+            cached = previous.get(node)
+            if cached is not None and node not in dirty:
+                results[node] = cached
+            else:
+                results[node] = self.select(view, metric)
+        return results
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(name={self.name!r})"
+
+
+class SelectionCache:
+    """Per-``(selector, metric)`` selection results reused across dynamic-trial timesteps.
+
+    The last cache layer of the harness, same philosophy as the compact-graph and
+    bottleneck-forest caches on :class:`~repro.localview.view.LocalView`: selection is a
+    pure function of the owner's local view and the metric, so results stay valid exactly
+    until the view changes.  A dynamic trial therefore only has to re-run a selector on
+    the nodes each step's :attr:`StepDelta.dirty
+    <repro.mobility.dynamic.StepDelta.dirty>` set names; everyone else's
+    :class:`SelectionResult` is reused verbatim from the previous step.
+
+    Usage: register :meth:`on_step` as a step listener of the trial's
+    :class:`~repro.mobility.dynamic.DynamicTopology` (which
+    :meth:`Trial.step_selections <repro.experiments.runner.Trial.step_selections>` does for
+    you), then call :meth:`select_all` whenever a selector's current-step results are
+    needed.  Invalidations accumulate *per key*: a key selected every step only re-runs
+    the last step's dirty owners, while a key first selected after several steps re-runs
+    the union of everything dirtied since its previous selection.  The cache is per-trial
+    and therefore per-worker under ``REPRO_WORKERS``, and cached incremental selection is
+    pinned bit-identical to from-scratch per-step selection by
+    ``tests/test_incremental_selection.py``.
+    """
+
+    def __init__(self) -> None:
+        self._results: Dict[Tuple[str, object], Dict[NodeId, SelectionResult]] = {}
+        self._dirty: Dict[Tuple[str, object], Set[NodeId]] = {}
+
+    def on_step(self, delta) -> None:
+        """Step-listener hook: invalidate the owners a :class:`StepDelta` dirtied."""
+        self.invalidate(delta.dirty)
+
+    def invalidate(self, nodes: Iterable[NodeId]) -> None:
+        """Mark ``nodes`` as needing re-selection in every cached (selector, metric) key."""
+        nodes = set(nodes)
+        for pending in self._dirty.values():
+            pending |= nodes
+
+    def clear(self) -> None:
+        """Drop every cached result (the next ``select_all`` per key runs from scratch)."""
+        self._results.clear()
+        self._dirty.clear()
+
+    def select_all(
+        self,
+        selector_name: str,
+        metric: Metric,
+        views: Dict[NodeId, LocalView],
+        network=None,
+    ) -> Dict[NodeId, SelectionResult]:
+        """Current per-node results of one selector, re-running only dirty owners."""
+        key = (selector_name, metric.cache_token())
+        selector = make_selector(selector_name)
+        previous = self._results.get(key)
+        if previous is None:
+            results = selector.select_all(network, metric, views=views)
+        else:
+            results = selector.select_all(
+                network, metric, views=views, previous=previous, dirty=self._dirty[key]
+            )
+        self._results[key] = results
+        self._dirty[key] = set()
+        return results
 
 
 def register_selector(name: str, factory: Callable[[], AnsSelector]) -> None:

@@ -15,7 +15,13 @@ The built-ins reproduce the paper's two experiment families and register themsel
 unified :data:`repro.registry.MEASURES` registry: ``"ans-size"`` (Figures 6 and 7: mean
 advertised-set size per node) and ``"overhead"`` (Figures 8 and 9: achieved QoS versus the
 centralized optimum).  Registering a new subclass opens a new measure kind to every spec,
-the ``repro-sweep`` CLI and the preset machinery without touching the engine.
+the ``repro-sweep`` CLI and the preset machinery without touching the engine -- a worked,
+test-executed example lives in ``docs/extending.md``, and the event stream a measure's
+aggregation feeds is specified in ``docs/events.md``.  Time-axis measures (the dynamic
+sweeps of :mod:`repro.mobility.measures`) additionally override :meth:`Measure.validate_spec`
+and consume the trial's incrementally maintained selections
+(:meth:`Trial.step_selections <repro.experiments.runner.Trial.step_selections>`) instead of
+re-running every selector from scratch each step.
 """
 
 from __future__ import annotations

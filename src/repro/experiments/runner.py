@@ -29,7 +29,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.core.selection import AnsSelector, SelectionResult, make_selector
+from repro.core.selection import AnsSelector, SelectionCache, SelectionResult, make_selector
 from repro.experiments.config import SweepConfig
 from repro.localview.view import LocalView
 from repro.metrics import Metric, UniformWeightAssigner
@@ -57,6 +57,7 @@ class Trial:
     _advertised_current: Optional[str] = None
     _link_state_edges: Dict[NodeId, list] = field(default_factory=dict)
     _dynamic: Optional[object] = None
+    _selection_cache: Optional[SelectionCache] = None
 
     # ------------------------------------------------------------------ views
 
@@ -144,6 +145,37 @@ class Trial:
                 network=self.network,
             )
         return self._dynamic
+
+    def selection_cache(self) -> SelectionCache:
+        """The trial's cross-timestep :class:`SelectionCache`, wired to the dynamic driver.
+
+        Built once per trial; its invalidation hook is registered as a step listener of
+        :meth:`dynamic_topology`, so every ``advance`` automatically marks the step's
+        :attr:`~repro.mobility.dynamic.StepDelta.dirty` owners for re-selection and
+        nothing has to thread deltas through the measures by hand.
+        """
+        if self._selection_cache is None:
+            cache = SelectionCache()
+            self.dynamic_topology().add_step_listener(cache.on_step)
+            self._selection_cache = cache
+        return self._selection_cache
+
+    def step_selections(self, selector_name: str) -> Dict[NodeId, SelectionResult]:
+        """Per-node selections of one selector on the *current* step's views.
+
+        The dynamic-trial counterpart of :meth:`selections`: results are maintained
+        incrementally across timesteps by the trial's :class:`SelectionCache` -- only the
+        owners whose local view the steps since this selector's last run dirtied re-run
+        the selector; everyone else reuses the previous step's
+        :class:`~repro.core.selection.SelectionResult`.  Bit-identical to running the
+        selector from scratch on every node each step (pinned by
+        ``tests/test_incremental_selection.py``), and per-trial, hence per-worker under
+        ``REPRO_WORKERS``.
+        """
+        dynamic = self.dynamic_topology()
+        return self.selection_cache().select_all(
+            selector_name, self.metric, dynamic.views(), network=self.network
+        )
 
     # ------------------------------------------------------------------ sampling
 

@@ -12,8 +12,11 @@ experiment-specific code.
 The paper's Figures 6-9 are four registered spec presets (:mod:`repro.experiments.presets`);
 ``repro-sweep --spec my_sweep.json`` runs arbitrary specs from files.
 
-JSON schema (all fields optional except ``experiment_id``, ``title``, ``measure`` and
-``metric``; ``field`` nests the deployment area)::
+The authoritative field-by-field schema reference is ``docs/spec.md`` -- *generated from
+this dataclass* by ``docs/gen_spec_reference.py`` (re-run it after changing a field;
+``tests/test_docs.py`` fails when the page is stale).  Summary (all fields optional except
+``experiment_id``, ``title``, ``measure`` and ``metric``; ``field`` nests the deployment
+area)::
 
     {
       "experiment_id": "custom-delay",

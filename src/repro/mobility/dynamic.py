@@ -29,8 +29,8 @@ bit-identical networks and views) and as the benchmark reference.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.localview.view import LocalView
 from repro.metrics.assignment import Edge, WeightAssigner
@@ -43,12 +43,26 @@ from repro.utils.validation import require_positive
 
 @dataclass(frozen=True)
 class StepDelta:
-    """What one :meth:`DynamicTopology.advance` changed, for measures and diagnostics."""
+    """What one :meth:`DynamicTopology.advance` changed, for measures and diagnostics.
+
+    ``dirty`` is the step's *invalidation set*: every owner whose two-hop local view the
+    step changed.  A link ``(u, v)`` is visible in exactly the views of ``{u, v} ∪ N(u) ∪
+    N(v)`` (the view of ``w`` contains every link with an endpoint in ``N(w)``), so the
+    dirty set is that neighborhood unioned over all flipped links -- taken over both the
+    pre- and post-step adjacency, because a removed link is visible through its old
+    neighbors and an added one through its new -- plus the same (current-adjacency)
+    neighborhood of every reweighted link.  Any per-node quantity that is a pure function
+    of the local view -- ANS selection above all -- is unchanged outside ``dirty``; that is
+    the contract the :class:`~repro.core.selection.SelectionCache` keys its reuse off, and
+    it holds identically in incremental and rebuild mode (the set describes the *topology
+    step*, not the driver's view-maintenance strategy).
+    """
 
     step: int
     added: Tuple[Edge, ...]
     removed: Tuple[Edge, ...]
     reweighted: Tuple[Edge, ...]
+    dirty: FrozenSet[NodeId] = frozenset()
 
     @property
     def link_churn(self) -> int:
@@ -96,6 +110,20 @@ class DynamicTopology:
         self._edges: Set[Edge] = set(network.links())
         self._static_links: Optional[List[Edge]] = None
         self._last_positions: Optional[object] = None
+        self._listeners: List[Callable[[StepDelta], None]] = []
+
+    # ------------------------------------------------------------------ listeners
+
+    def add_step_listener(self, listener: Callable[[StepDelta], None]) -> None:
+        """Call ``listener(delta)`` after every :meth:`advance`, in registration order.
+
+        This is how per-trial caches keyed on the topology's evolution subscribe to the
+        step stream without the measures having to thread deltas around by hand: the
+        :class:`~repro.core.selection.SelectionCache` of
+        :meth:`Trial.step_selections <repro.experiments.runner.Trial.step_selections>`
+        registers its invalidation hook here.
+        """
+        self._listeners.append(listener)
 
     # ------------------------------------------------------------------ views
 
@@ -108,28 +136,30 @@ class DynamicTopology:
     # ------------------------------------------------------------------ stepping
 
     def advance(self) -> StepDelta:
-        """Advance one timestep and return what changed."""
+        """Advance one timestep, notify the step listeners and return what changed."""
         self.step_index += 1
         world = self._stepper.step(self.step_interval)
         target = self._target_links(world)
-        if not self.incremental:
-            return self._rebuild(world, target)
+        if self.incremental:
+            delta = self._advance_incremental(world, target)
+        else:
+            delta = self._rebuild(world, target)
+        for listener in self._listeners:
+            listener(delta)
+        return delta
 
+    def _advance_incremental(self, world: WorldState, target: Set[Edge]) -> StepDelta:
+        """The incremental step path: diff links, rebuild only the views a change touched."""
         removed = sorted(self._edges - target)
         added = sorted(target - self._edges)
         graph = self.network.graph
 
         # Owners whose view structure a flipped link touches: the link's endpoints plus
         # every pre-change neighbor of either endpoint (post-change neighbors are added
-        # below, after the graph mutation).
-        track_views = self._views is not None
+        # below, after the graph mutation).  This doubles as the flipped-link half of the
+        # delta's dirty set, so it is computed whether or not views are materialized.
         affected: Set[NodeId] = set()
-        if track_views:
-            for u, v in removed + added:
-                affected.add(u)
-                affected.add(v)
-                affected.update(graph.adj[u])
-                affected.update(graph.adj[v])
+        _absorb_link_neighborhoods(graph.adj, removed + added, affected)
 
         for node, position in world.positions.items():
             graph.nodes[node]["pos"] = (float(position[0]), float(position[1]))
@@ -138,10 +168,7 @@ class DynamicTopology:
         for u, v in added:
             self.network.add_link(u, v, **self._link_weights((u, v), world))
 
-        if track_views:
-            for u, v in added + removed:
-                affected.update(graph.adj[u])
-                affected.update(graph.adj[v])
+        _absorb_link_neighborhoods(graph.adj, added + removed, affected)
 
         # Weight-only changes on links that persisted through the step.
         reweighted = sorted(
@@ -149,8 +176,10 @@ class DynamicTopology:
         )
         for u, v in reweighted:
             graph.edges[u, v].update(world.weight_overrides[(u, v)])
+        dirty = set(affected)
+        _absorb_link_neighborhoods(graph.adj, reweighted, dirty)
 
-        if track_views:
+        if self._views is not None:
             views = self._views
             if len(affected) * 2 >= len(views):
                 # The step touched most of the network: one batched rebuild (shared
@@ -175,6 +204,7 @@ class DynamicTopology:
             added=tuple(added),
             removed=tuple(removed),
             reweighted=tuple(reweighted),
+            dirty=frozenset(dirty),
         )
 
     # ------------------------------------------------------------------ internals
@@ -205,12 +235,19 @@ class DynamicTopology:
         return attributes
 
     def _rebuild(self, world: WorldState, target: Set[Edge]) -> StepDelta:
-        """The naïve per-step regeneration baseline: fresh network, all views dropped."""
+        """The naïve per-step regeneration baseline: fresh network, all views dropped.
+
+        The delta's ``dirty`` set is computed exactly as on the incremental path (it
+        describes the topology step, not the maintenance strategy), which is what keeps
+        cached selections bit-identical between the two modes.
+        """
         removed = sorted(self._edges - target)
         added = sorted(target - self._edges)
         reweighted = sorted(
             edge for edge in world.changed_weights if edge in target and edge in self._edges
         )
+        dirty: Set[NodeId] = set()
+        _absorb_link_neighborhoods(self.network.graph.adj, removed + added, dirty)
         # Repopulate the existing Network object so the driver's live-ownership contract
         # (self.network is mutated in place, never swapped) holds in this mode too --
         # callers may have handed the network to builders or routers before the step.
@@ -220,6 +257,7 @@ class DynamicTopology:
             network.add_node(node, position)
         for edge in sorted(target):
             network.add_link(*edge, **self._link_weights(edge, world))
+        _absorb_link_neighborhoods(network.graph.adj, added + removed + reweighted, dirty)
         self._views = None
         self._edges = target
         return StepDelta(
@@ -227,4 +265,18 @@ class DynamicTopology:
             added=tuple(added),
             removed=tuple(removed),
             reweighted=tuple(reweighted),
+            dirty=frozenset(dirty),
         )
+
+
+def _absorb_link_neighborhoods(adjacency, edges: Sequence[Edge], into: Set[NodeId]) -> None:
+    """Union each link's view neighborhood ``{u, v} ∪ N(u) ∪ N(v)`` into ``into``.
+
+    A link is visible in exactly those owners' two-hop views, so this is the building
+    block of :attr:`StepDelta.dirty`.
+    """
+    for u, v in edges:
+        into.add(u)
+        into.add(v)
+        into.update(adjacency[u])
+        into.update(adjacency[v])

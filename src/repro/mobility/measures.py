@@ -3,9 +3,12 @@
 Static sweeps ask "how large is the advertised set"; dynamic sweeps ask "how much *protocol
 work* does keeping it up to date cost".  One dynamic trial generates a topology, advances it
 through ``spec.timesteps`` steps of ``spec.step_interval`` time units with the spec's
-mobility model (see :mod:`repro.mobility.models`), and re-runs every selector after each
-step on the incrementally maintained views of the
-:class:`~repro.mobility.dynamic.DynamicTopology` driver.  Three measure kinds fold the
+mobility model (see :mod:`repro.mobility.models`), and refreshes every selector's
+selections after each step on the incrementally maintained views of the
+:class:`~repro.mobility.dynamic.DynamicTopology` driver -- incrementally too: the trial's
+:class:`~repro.core.selection.SelectionCache` re-runs a selector only at the owners the
+step's :attr:`~repro.mobility.dynamic.StepDelta.dirty` set names and reuses the previous
+step's results everywhere else (see ``docs/caches.md``).  Three measure kinds fold the
 per-step observations into the standard streaming pipeline (they register in
 :data:`repro.registry.MEASURES` and work with every sink, spec and CLI):
 
@@ -37,13 +40,17 @@ from repro.routing.advertised import AdvertisedTopologyBuilder
 from repro.routing.hop_by_hop import HopByHopRouter
 
 
-def _selector_state(dynamic, selector_name: str, metric):
-    """One selector's per-node advertised sets and advertised link set, on current views."""
-    from repro.core.selection import make_selector
+def _selector_state(trial, selector_name: str):
+    """One selector's per-node advertised sets and advertised link set, on current views.
 
-    selector = make_selector(selector_name)
-    views = dynamic.views()
-    ans_sets = {node: selector.select(view, metric).selected for node, view in views.items()}
+    Selections come from the trial's cross-timestep
+    :class:`~repro.core.selection.SelectionCache` (:meth:`Trial.step_selections`): only the
+    owners the steps since this selector's last run dirtied re-run the selector, everyone
+    else reuses the previous step's result -- bit-identical to re-running everywhere, which
+    is what caps per-step cost at the size of the step instead of the size of the network.
+    """
+    results = trial.step_selections(selector_name)
+    ans_sets = {node: result.selected for node, result in results.items()}
     edges = {
         canonical_edge(node, relay) for node, selected in ans_sets.items() for relay in selected
     }
@@ -59,7 +66,6 @@ def _selection_churn_trial(trial) -> dict:
     """
     dynamic = trial.dynamic_topology()
     selectors = trial.config.selectors
-    metric = trial.metric
     node_count = len(dynamic.network)
     if node_count == 0:
         return {"node_count": 0, "link_churn": [], "churn": {}, "tc": {}}
@@ -67,7 +73,7 @@ def _selection_churn_trial(trial) -> dict:
     previous_sets: Dict[str, dict] = {}
     previous_edges: Dict[str, set] = {}
     for name in selectors:
-        previous_sets[name], previous_edges[name] = _selector_state(dynamic, name, metric)
+        previous_sets[name], previous_edges[name] = _selector_state(trial, name)
 
     churn: Dict[str, List[float]] = {name: [] for name in selectors}
     tc: Dict[str, List[float]] = {name: [] for name in selectors}
@@ -76,7 +82,7 @@ def _selection_churn_trial(trial) -> dict:
         delta = dynamic.advance()
         link_churn.append(float(delta.link_churn))
         for name in selectors:
-            ans_sets, edges = _selector_state(dynamic, name, metric)
+            ans_sets, edges = _selector_state(trial, name)
             churn[name].append(float(len(edges ^ previous_edges[name])))
             re_advertised = sum(
                 len(selected)
@@ -108,7 +114,7 @@ def _route_stability_trial(trial) -> dict:
     builders = {name: AdvertisedTopologyBuilder(dynamic.network) for name in selectors}
 
     def first_hops(name: str) -> List[Optional[object]]:
-        selector_sets, _ = _selector_state(dynamic, name, metric)
+        selector_sets, _ = _selector_state(trial, name)
         advertised = builders[name].build(selector_sets)
         router = HopByHopRouter(dynamic.network, advertised, metric)
         hops: List[Optional[object]] = []

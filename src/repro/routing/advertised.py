@@ -30,7 +30,7 @@ over one selector's topology before asking for the next).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Mapping, Optional
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional
 
 import networkx as nx
 
@@ -92,6 +92,8 @@ def run_selection(
     selector: AnsSelector,
     metric: Metric,
     views: Optional[Dict[NodeId, LocalView]] = None,
+    previous: Optional[Dict[NodeId, SelectionResult]] = None,
+    dirty: Optional[Iterable[NodeId]] = None,
 ) -> Dict[NodeId, SelectionResult]:
     """Run ``selector`` at every node of ``network`` (each node sees only its local view).
 
@@ -99,9 +101,12 @@ def run_selection(
     :meth:`LocalView.all_from_network`) before the per-node selections run.  Pass ``views``
     to reuse an already-built batch across several selector/metric runs: the views' cached
     compact graphs and bottleneck forests then serve every run, instead of being rebuilt
-    per selector.
+    per selector.  Pass ``previous`` and ``dirty`` together to make the run incremental --
+    owners outside ``dirty`` reuse their previous :class:`SelectionResult` instead of
+    re-running the selector (see :meth:`AnsSelector.select_all` for the exact contract;
+    dynamic trials drive this through :class:`~repro.core.selection.SelectionCache`).
     """
-    return selector.select_all(network, metric, views=views)
+    return selector.select_all(network, metric, views=views, previous=previous, dirty=dirty)
 
 
 def _ans_sets(

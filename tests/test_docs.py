@@ -1,0 +1,133 @@
+"""The documentation suite's anti-rot harness.
+
+Three guarantees, all enforced on every test run (and again by the CI docs job):
+
+* **The suite builds clean.**  ``docs/build.py --strict`` -- nav complete, no orphan
+  pages, every internal link and anchor resolves, fences balanced -- exits 0 and renders
+  one HTML page per nav entry.
+* **The cookbook runs.**  Every ``python`` code block of ``docs/extending.md`` executes,
+  top to bottom, as one script (the page is written to be cumulative).  Run in a
+  subprocess so the example registrations cannot leak into this process's registries
+  (which would break the ``repro-sweep --list`` golden test, among others).
+* **The generated reference cannot drift.**  ``docs/spec.md`` must equal what
+  ``docs/gen_spec_reference.py`` generates from the ``ExperimentSpec`` dataclass, and the
+  generator itself must fail when a spec field lacks documentation.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS_DIR = REPO_ROOT / "docs"
+
+sys.path.insert(0, str(DOCS_DIR))
+import build as docs_build  # noqa: E402  (docs/build.py, stdlib-only)
+
+
+def _run(args, **kwargs):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, *args],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        **kwargs,
+    )
+
+
+class TestDocsBuild:
+    def test_strict_build_renders_every_nav_page(self, tmp_path):
+        result = _run(["docs/build.py", "--strict", "--site-dir", str(tmp_path / "site")])
+        assert result.returncode == 0, result.stderr
+        _, nav = docs_build.parse_nav(REPO_ROOT / "mkdocs.yml")
+        assert nav, "mkdocs.yml nav is empty"
+        for _, page in nav:
+            assert (tmp_path / "site" / page.replace(".md", ".html")).exists()
+        assert (tmp_path / "site" / "index.html").exists()
+
+    def test_check_only_mode_writes_nothing_and_passes(self, tmp_path):
+        result = _run(["docs/build.py", "--strict", "--check-only"])
+        assert result.returncode == 0, result.stderr
+        assert "checks passed" in result.stdout
+
+    def test_every_registry_extension_point_is_documented(self):
+        """The acceptance bar: the cookbook covers all six registries by name."""
+        extending = (DOCS_DIR / "extending.md").read_text(encoding="utf-8")
+        for registry in ("SELECTORS", "METRICS", "TOPOLOGY_MODELS", "MEASURES", "SINKS", "PRESETS"):
+            assert f"@{registry}.register(" in extending, f"no worked {registry} example"
+
+    def test_broken_page_link_fails_the_strict_build(self, tmp_path):
+        """Unit-level: the link checker is what --strict relies on, so prove it bites."""
+        docs_copy = tmp_path / "docs"
+        docs_copy.mkdir()
+        for page in DOCS_DIR.glob("*.md"):
+            docs_copy.joinpath(page.name).write_text(page.read_text(encoding="utf-8"))
+        index = docs_copy / "index.md"
+        index.write_text(
+            index.read_text() + "\n[dangling](no_such_page.md) and [bad](caches.md#no-such-anchor)\n"
+        )
+        warnings = docs_build.build(docs_dir=docs_copy, site_dir=None)
+        assert any("no_such_page.md" in warning for warning in warnings)
+        assert any("no-such-anchor" in warning for warning in warnings)
+
+    def test_heading_slugs_match_github_style(self):
+        assert docs_build.github_slug("Caches & invalidation") == "caches--invalidation"
+        assert docs_build.github_slug("The dirty-set contract") == "the-dirty-set-contract"
+        taken = {}
+        assert docs_build.github_slug("Same", taken) == "same"
+        assert docs_build.github_slug("Same", taken) == "same-1"
+
+
+class TestSpecReference:
+    def test_spec_md_is_not_stale(self):
+        result = _run(["docs/gen_spec_reference.py", "--check"])
+        assert result.returncode == 0, (
+            "docs/spec.md is out of date with the ExperimentSpec dataclass; "
+            "run `python docs/gen_spec_reference.py`\n" + result.stderr
+        )
+
+    def test_every_spec_field_appears_in_the_reference(self):
+        from dataclasses import fields
+
+        from repro.experiments.spec import ExperimentSpec
+
+        reference = (DOCS_DIR / "spec.md").read_text(encoding="utf-8")
+        for spec_field in fields(ExperimentSpec):
+            assert f"| `{spec_field.name}` |" in reference
+
+    def test_generator_refuses_undocumented_fields(self):
+        """The drift guard itself: a field without SEMANTICS kills the generation."""
+        result = _run(
+            [
+                "-c",
+                "import sys; sys.path.insert(0, 'docs'); import gen_spec_reference as g;"
+                "g.SEMANTICS.pop('seed'); g.generate()",
+            ]
+        )
+        assert result.returncode != 0
+        assert "seed" in result.stderr
+
+
+EXAMPLE_BLOCK_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+class TestExtendingCookbook:
+    def test_examples_execute_end_to_end(self, tmp_path):
+        """Concatenate every python block of extending.md and run it as one script."""
+        page = (DOCS_DIR / "extending.md").read_text(encoding="utf-8")
+        blocks = EXAMPLE_BLOCK_RE.findall(page)
+        assert len(blocks) >= 8, "expected one runnable example per registry plus demos"
+        script = tmp_path / "extending_examples.py"
+        script.write_text("\n\n".join(blocks), encoding="utf-8")
+        result = _run([str(script)], timeout=300)
+        assert result.returncode == 0, f"stdout:\n{result.stdout}\nstderr:\n{result.stderr}"
+        assert "cookbook sweep finished" in result.stdout
