@@ -11,6 +11,13 @@ JSONL checkpoints, progress lines) besides materializing an
 """
 
 from repro.experiments.ans_size import run_ans_size_experiment
+from repro.experiments.checkpoint import (
+    Checkpoint,
+    CheckpointError,
+    DensityCheckpoint,
+    load_checkpoint,
+    spec_hash,
+)
 from repro.experiments.config import (
     BANDWIDTH_DENSITIES,
     DELAY_DENSITIES,
@@ -36,7 +43,14 @@ from repro.experiments.overhead import qos_overhead, run_overhead_experiment
 from repro.experiments.presets import FIGURE_PRESETS, figure_spec
 from repro.experiments.reporting import render_report, write_json, write_report
 from repro.experiments.results import ExperimentResult, Series, SeriesPoint
-from repro.experiments.runner import Trial, build_trial, iter_trials
+from repro.experiments.runner import (
+    Trial,
+    TrialExecutionError,
+    TrialFailure,
+    build_trial,
+    iter_trials,
+    map_trials,
+)
 from repro.experiments.sinks import (
     JsonlSink,
     JsonSink,
@@ -86,8 +100,16 @@ __all__ = [
     "Summary",
     "summarize",
     "Trial",
+    "TrialFailure",
+    "TrialExecutionError",
     "build_trial",
     "iter_trials",
+    "map_trials",
+    "Checkpoint",
+    "CheckpointError",
+    "DensityCheckpoint",
+    "load_checkpoint",
+    "spec_hash",
     "render_report",
     "write_report",
     "write_json",

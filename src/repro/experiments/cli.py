@@ -100,12 +100,22 @@ def main(argv: Optional[list[str]] = None) -> int:
 
     figure_numbers = sorted(FIGURES) if args.all else [args.figure]
     results: Dict[int, ExperimentResult] = {}
-    for number in figure_numbers:
-        # The figure's metric comes from its registered spec preset.
-        config = _config_for(args, figure_spec(number).metric)
-        results[number] = run_figure(number, config, progress=progress, workers=args.workers)
-        for sink in sinks:
-            sink.on_result(results[number])
+    try:
+        for number in figure_numbers:
+            # The figure's metric comes from its registered spec preset.
+            config = _config_for(args, figure_spec(number).metric)
+            results[number] = run_figure(number, config, progress=progress, workers=args.workers)
+            for sink in sinks:
+                sink.on_result(results[number])
+    except KeyboardInterrupt:
+        # Buffered report sinks stay unwritten on purpose (never clobber good outputs
+        # with a partial report); resumable runs are repro-sweep --jsonl territory.
+        print(
+            "interrupted -- no output files were written (repro-figures does not "
+            "checkpoint; use repro-sweep --jsonl/--resume for resumable sweeps)",
+            file=sys.stderr,
+        )
+        return 130
     # The report sinks buffer and write at close; closing only after every figure
     # succeeded means a failed run never clobbers existing output files with a partial
     # report (the pre-sink CLI had the same all-or-nothing behavior).

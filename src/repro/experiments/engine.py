@@ -9,18 +9,83 @@ the measure's streaming aggregation, and emits the event stream to any number of
 near-identical hand-written harnesses (``run_ans_size_experiment`` and
 ``run_overhead_experiment``, now thin wrappers): every figure preset, every
 ``repro-sweep`` invocation and every future measure kind runs through this one function.
+
+Crash resilience is layered on top of the same determinism that makes parallelism
+bit-identical:
+
+* the runner supervises trials (retry with backoff on raises, timeouts and killed
+  workers; see :func:`repro.experiments.runner.map_trials`);
+* a trial that exhausts its retries either aborts the sweep (``on_error="fail"``, the
+  default -- byte-identical to the pre-supervision engine on healthy runs) or becomes a
+  structured ``on_trial_error`` sink event, with the density's failure count recorded in
+  each of its points' ``extra["failed_trials"]`` (``on_error="skip"``);
+* a sink whose handler raises is quarantined -- dropped from the sweep with an
+  ``on_warning`` event to the surviving sinks -- instead of killing the run;
+* ``resume_from`` accepts a :class:`~repro.experiments.checkpoint.Checkpoint` (or the
+  path of a ``jsonl`` stream): finished densities are skipped, their trial and density
+  events re-emitted from the checkpoint, so sinks -- including a fresh ``jsonl`` sink
+  writing the same path -- observe exactly the stream of an uninterrupted run.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+import warnings
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
 
+from repro.experiments.checkpoint import Checkpoint, load_checkpoint, spec_hash
 from repro.experiments.results import ExperimentResult, SeriesPoint
-from repro.experiments.runner import map_trials
+from repro.experiments.runner import TrialFailure, map_trials
 from repro.experiments.sinks import ProgressSink, ResultSink
 from repro.experiments.spec import ExperimentSpec
 from repro.metrics.base import Metric
 from repro.registry import MEASURES, METRICS
+
+
+class _SinkCrew:
+    """Event dispatcher that quarantines raising sinks instead of dying with them.
+
+    A sink that raises from any handler is removed from the crew; the survivors get an
+    ``on_warning`` event (and a Python :class:`RuntimeWarning` is emitted, so the
+    quarantine is visible even with no surviving sinks).  ``KeyboardInterrupt`` and other
+    non-``Exception`` signals propagate -- quarantine is for broken sinks, not for the
+    user's ctrl-C.
+    """
+
+    def __init__(self, sinks: Iterable[ResultSink], spec) -> None:
+        self._sinks: List[ResultSink] = list(sinks)
+        self._spec = spec
+
+    def emit(self, handler: str, *args) -> None:
+        for sink in list(self._sinks):
+            try:
+                getattr(sink, handler)(*args)
+            except Exception as exc:  # noqa: BLE001 - quarantine any broken sink
+                self._sinks.remove(sink)
+                message = (
+                    f"sink {type(sink).__name__} raised {type(exc).__name__} ({exc}) in "
+                    f"{handler} and was quarantined; the sweep continues without it"
+                )
+                warnings.warn(message, RuntimeWarning, stacklevel=2)
+                self.emit("on_warning", self._spec, message)
+
+
+def _resolve_checkpoint(
+    resume_from: Union[Checkpoint, str, Path, None], spec: ExperimentSpec
+) -> Optional[Checkpoint]:
+    """Load/validate the resume source; the spec-hash guard refuses a mismatched spec."""
+    if resume_from is None:
+        return None
+    checkpoint = resume_from if isinstance(resume_from, Checkpoint) else load_checkpoint(resume_from)
+    running = spec_hash(spec)
+    if checkpoint.spec_hash != running:
+        raise ValueError(
+            f"refusing to resume: the checkpoint was written by a different spec "
+            f"(checkpoint spec-hash {checkpoint.spec_hash[:12]}..., this sweep "
+            f"{running[:12]}...); resume with the identical spec or start a fresh sweep"
+        )
+    return checkpoint
 
 
 def run_experiment(
@@ -29,6 +94,8 @@ def run_experiment(
     workers: Optional[int] = None,
     metric: Optional[Metric] = None,
     progress: Optional[callable] = None,
+    resume_from: Union[Checkpoint, str, Path, None] = None,
+    on_error: str = "fail",
 ) -> ExperimentResult:
     """Run the sweep described by ``spec`` and return its :class:`ExperimentResult`.
 
@@ -40,15 +107,26 @@ def run_experiment(
     ready-made instance (the legacy wrappers use this; normally the metric is resolved
     from the registry).  ``progress`` is a legacy convenience: a callable receiving one
     human-readable line per trial, wrapped in a :class:`ProgressSink`.
+
+    ``resume_from`` (a :class:`Checkpoint` or the path of a ``jsonl`` stream) skips the
+    densities the checkpoint already finished, re-emitting their events so the sink
+    stream -- and with it every output file -- is byte-identical to an uninterrupted run;
+    a checkpoint written by a different spec is refused.  ``on_error`` decides the fate of
+    a trial whose retries are exhausted: ``"fail"`` (default) raises
+    :class:`~repro.experiments.runner.TrialExecutionError`, ``"skip"`` records an
+    ``on_trial_error`` event plus a per-point ``extra["failed_trials"]`` count and lets
+    the sweep complete.
     """
     spec.validate_names(require_metric=metric is None)
     measure = MEASURES.create(spec.measure)
     measure.validate_spec(spec)
     if metric is None:
         metric = METRICS.create(spec.metric)
+    checkpoint = _resolve_checkpoint(resume_from, spec)
     sinks = list(sinks)
     if progress is not None:
         sinks.append(ProgressSink(progress))
+    crew = _SinkCrew(sinks, spec)
 
     config = spec.sweep_config()
     result = ExperimentResult(
@@ -59,26 +137,61 @@ def run_experiment(
         y_label=measure.y_label(metric),
     )
 
-    for sink in sinks:
-        sink.on_sweep_start(spec)
+    crew.emit("on_sweep_start", spec)
 
     state = measure.start(spec)
     per_trial = measure.per_trial()
     per_density: Dict[float, Dict[str, SeriesPoint]] = {}
     for density in spec.densities:
+        finished = checkpoint.densities.get(density) if checkpoint is not None else None
+        if finished is not None:
+            # Replay the finished density from the checkpoint: same trial events (the
+            # progress message is re-derived from the recorded payload), same points, no
+            # recomputation.  Payloads are not re-folded through the measure -- the
+            # density's points are already aggregated and every built-in measure
+            # aggregates strictly per density.
+            for run_index, record in finished.trials:
+                if isinstance(record, TrialFailure):
+                    crew.emit("on_trial_error", spec, density, run_index, record)
+                else:
+                    message = measure.progress_line(
+                        spec.experiment_id, spec.runs, density, run_index, record
+                    )
+                    crew.emit("on_trial", spec, density, run_index, record, message)
+            per_density[density] = finished.points
+            crew.emit("on_density", spec, density, finished.points)
+            continue
 
-        def on_result(run_index: int, payload: dict, density: float = density) -> None:
+        def on_result(run_index: int, payload, density: float = density) -> None:
+            if isinstance(payload, TrialFailure):
+                crew.emit("on_trial_error", spec, density, run_index, payload)
+                return
             message = measure.progress_line(spec.experiment_id, spec.runs, density, run_index, payload)
-            for sink in sinks:
-                sink.on_trial(spec, density, run_index, payload, message)
+            crew.emit("on_trial", spec, density, run_index, payload, message)
 
-        payloads = map_trials(config, metric, density, per_trial, workers=workers, on_result=on_result)
+        payloads = map_trials(
+            config,
+            metric,
+            density,
+            per_trial,
+            workers=workers,
+            on_result=on_result,
+            on_error=on_error,
+        )
+        failures = [payload for payload in payloads if isinstance(payload, TrialFailure)]
         for payload in payloads:
-            measure.consume(state, density, payload)
+            if not isinstance(payload, TrialFailure):
+                measure.consume(state, density, payload)
         points = measure.density_points(state, spec, density)
+        if failures:
+            points = {
+                name: replace(
+                    point, extra={**dict(point.extra), "failed_trials": float(len(failures))}
+                )
+                for name, point in points.items()
+            }
         per_density[density] = points
-        for sink in sinks:
-            sink.on_density(spec, density, points)
+        crew.emit("on_density", spec, density, points)
 
     # Assemble the monolithic result in the classic order (selector-major, density-minor),
     # which keeps its tables and JSON byte-identical to the pre-engine harnesses.
@@ -88,6 +201,5 @@ def run_experiment(
     for note in measure.notes(spec):
         result.add_note(note)
 
-    for sink in sinks:
-        sink.on_result(result)
+    crew.emit("on_result", result)
     return result

@@ -12,6 +12,16 @@ out over a multiprocessing pool (``workers=`` argument or the ``REPRO_WORKERS`` 
 variable) and re-assembles the per-trial results in run order, so a parallel sweep
 aggregates bit-identically to a serial one.
 
+Determinism is also what makes the trials *supervisable*: a trial that raises, hangs past
+``REPRO_TRIAL_TIMEOUT`` seconds, or whose worker process dies (the pool respawns dead
+workers automatically; the supervisor detects the lost task by its missed deadline) is
+simply retried with bounded exponential backoff, up to ``REPRO_MAX_RETRIES`` extra
+attempts -- and because a retry re-derives the identical trial from the identical inputs,
+a recovered sweep is bit-identical to an undisturbed one.  A trial that exhausts its
+retries either aborts the sweep (``on_error="fail"``, the default) or is recorded as a
+structured :class:`TrialFailure` in the result list (``on_error="skip"``), which the engine
+turns into an ``on_trial_error`` sink event.
+
 Every cache in the harness hangs off the :class:`Trial` (the per-view compact graphs and
 bottleneck forests live on the trial's views; the advertised topology is maintained
 incrementally by the trial's :class:`AdvertisedTopologyBuilder`), and under the parallel
@@ -26,8 +36,9 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.selection import AnsSelector, SelectionCache, SelectionResult, make_selector
 from repro.experiments.config import SweepConfig
@@ -241,12 +252,18 @@ def iter_trials(config: SweepConfig, metric: Metric, density: float) -> Iterable
 # ---------------------------------------------------------------------- parallel execution
 
 
+#: Hard ceiling on worker-process counts; anything above this is a typo, not a machine.
+MAX_WORKERS = 1024
+
+
 def resolve_workers(workers: Optional[int] = None) -> int:
     """Number of worker processes to use for a sweep.
 
     ``workers=None`` falls back to the ``REPRO_WORKERS`` environment variable; an unset or
-    empty variable means serial execution.  ``0`` (argument or variable) means "one worker
-    per CPU".  The result is always at least 1.
+    empty variable means serial execution.  The ``workers`` *argument* (the CLIs'
+    ``--workers`` flag) keeps its documented ``0`` = "one worker per CPU" meaning; the
+    environment variable must be a positive integer -- zero, negative and absurdly large
+    values are configuration mistakes and are rejected with an error naming the variable.
     """
     if workers is None:
         raw = os.environ.get("REPRO_WORKERS", "").strip()
@@ -256,15 +273,166 @@ def resolve_workers(workers: Optional[int] = None) -> int:
             workers = int(raw)
         except ValueError as exc:
             raise ValueError(f"REPRO_WORKERS must be an integer, got {raw!r}") from exc
+        if workers <= 0:
+            raise ValueError(
+                f"REPRO_WORKERS must be a positive worker-process count, got {workers} "
+                f"(unset the variable for serial execution)"
+            )
+        if workers > MAX_WORKERS:
+            raise ValueError(
+                f"REPRO_WORKERS={workers} exceeds the sanity cap of {MAX_WORKERS} "
+                f"worker processes"
+            )
+        return workers
     if workers == 0:
         workers = os.cpu_count() or 1
-    return max(1, workers)
+    if workers < 0:
+        raise ValueError(f"workers must be non-negative (0 = one per CPU), got {workers}")
+    if workers > MAX_WORKERS:
+        raise ValueError(f"workers={workers} exceeds the sanity cap of {MAX_WORKERS}")
+    return workers
 
 
-def _trial_job(job: Tuple[SweepConfig, Metric, float, int, Callable]) -> object:
-    """Build one trial in the worker process and apply the per-trial function to it."""
-    config, metric, density, run_index, per_trial = job
+def resolve_max_retries(max_retries: Optional[int] = None) -> int:
+    """How many *extra* attempts a failed trial gets (``REPRO_MAX_RETRIES``, default 2)."""
+    if max_retries is None:
+        raw = os.environ.get("REPRO_MAX_RETRIES", "").strip()
+        if not raw:
+            return 2
+        try:
+            max_retries = int(raw)
+        except ValueError as exc:
+            raise ValueError(f"REPRO_MAX_RETRIES must be an integer, got {raw!r}") from exc
+    if max_retries < 0:
+        raise ValueError(f"REPRO_MAX_RETRIES must be non-negative, got {max_retries}")
+    return max_retries
+
+
+def resolve_trial_timeout(trial_timeout: Optional[float] = None) -> Optional[float]:
+    """Per-trial deadline in seconds (``REPRO_TRIAL_TIMEOUT``, default 300; 0 disables).
+
+    The timeout is how the parallel supervisor detects a *lost* trial -- one whose worker
+    process was killed, so its result will never arrive -- as well as a genuinely hung one.
+    Serial execution cannot preempt a running trial, so the timeout only applies under
+    ``workers > 1``.
+    """
+    if trial_timeout is None:
+        raw = os.environ.get("REPRO_TRIAL_TIMEOUT", "").strip()
+        if not raw:
+            return 300.0
+        try:
+            trial_timeout = float(raw)
+        except ValueError as exc:
+            raise ValueError(f"REPRO_TRIAL_TIMEOUT must be a number of seconds, got {raw!r}") from exc
+    if trial_timeout < 0:
+        raise ValueError(f"REPRO_TRIAL_TIMEOUT must be non-negative, got {trial_timeout}")
+    return None if trial_timeout == 0 else trial_timeout
+
+
+@dataclass(frozen=True)
+class TrialFailure:
+    """One trial that exhausted its retries, as structured data.
+
+    Under ``on_error="skip"`` these take the failed trial's place in the result list (and
+    become ``on_trial_error`` sink events in the engine); under ``on_error="fail"`` the
+    same information rides on the raised :class:`TrialExecutionError`.
+    """
+
+    density: float
+    run_index: int
+    error: str
+    error_type: str
+    attempts: int
+
+
+class TrialExecutionError(RuntimeError):
+    """A trial failed every attempt and the sweep runs with ``on_error="fail"``."""
+
+    def __init__(self, failure: TrialFailure) -> None:
+        super().__init__(
+            f"trial (density={failure.density:g}, run={failure.run_index}) failed after "
+            f"{failure.attempts} attempt(s): {failure.error_type}: {failure.error} "
+            f"(run with --on-error skip to record failures and continue)"
+        )
+        self.failure = failure
+
+
+def _backoff_delay(attempt: int) -> float:
+    """Bounded exponential backoff before re-attempting a failed trial (seconds)."""
+    return min(2.0, 0.05 * (2 ** attempt))
+
+
+def _execute_trial(
+    config: SweepConfig, metric: Metric, density: float, run_index: int, attempt: int, per_trial: Callable
+) -> object:
+    """Build and measure one trial (attempt-aware so injected faults can target retries).
+
+    This is the single choke point both the serial and the worker-process path run trials
+    through; when the ``REPRO_FAULTS`` environment variable is set, the deterministic
+    fault plans of :mod:`repro.testing.faults` are applied here (in whichever process the
+    trial executes), which is how the fault-tolerance suite injects raises and worker
+    kills without patching any production code.
+    """
+    if os.environ.get("REPRO_FAULTS"):
+        from repro.testing.faults import apply_trial_faults
+
+        apply_trial_faults(density, run_index, attempt)
     return per_trial(build_trial(config, metric, density, run_index))
+
+
+def _trial_job(job: Tuple[SweepConfig, Metric, float, int, int, Callable]) -> object:
+    """Unpack one trial job inside the worker process and execute it."""
+    config, metric, density, run_index, attempt, per_trial = job
+    return _execute_trial(config, metric, density, run_index, attempt, per_trial)
+
+
+def _give_up(
+    density: float, run_index: int, attempts: int, exc: BaseException, on_error: str
+) -> TrialFailure:
+    """Turn an exhausted trial into a :class:`TrialFailure`, raising under ``fail``."""
+    failure = TrialFailure(
+        density=density,
+        run_index=run_index,
+        error=str(exc) or type(exc).__name__,
+        error_type=type(exc).__name__,
+        attempts=attempts,
+    )
+    if on_error == "fail":
+        raise TrialExecutionError(failure) from exc
+    return failure
+
+
+def _map_trials_serial(
+    config: SweepConfig,
+    metric: Metric,
+    density: float,
+    per_trial: Callable,
+    on_result: Optional[Callable],
+    max_retries: int,
+    on_error: str,
+) -> List[object]:
+    """The serial path, with the same retry/backoff/failure semantics as the supervisor.
+
+    (Timeouts require preemption and therefore worker processes; a serial trial that
+    raises is retried, but one that hangs, hangs.)
+    """
+    results: List[object] = []
+    for run_index in range(config.runs):
+        attempt = 0
+        while True:
+            try:
+                result = _execute_trial(config, metric, density, run_index, attempt, per_trial)
+                break
+            except Exception as exc:  # noqa: BLE001 - KeyboardInterrupt et al. propagate
+                if attempt >= max_retries:
+                    result = _give_up(density, run_index, attempt + 1, exc, on_error)
+                    break
+                time.sleep(_backoff_delay(attempt))
+                attempt += 1
+        if on_result is not None:
+            on_result(run_index, result)
+        results.append(result)
+    return results
 
 
 def map_trials(
@@ -274,7 +442,10 @@ def map_trials(
     per_trial: Callable[[Trial], object],
     workers: Optional[int] = None,
     on_result: Optional[Callable[[int, object], None]] = None,
-) -> List[object]:
+    on_error: str = "fail",
+    max_retries: Optional[int] = None,
+    trial_timeout: Optional[float] = None,
+) -> List[Union[object, TrialFailure]]:
     """Apply ``per_trial`` to every trial of one density and return the results in run order.
 
     ``per_trial`` must be a picklable module-level callable returning picklable data.  With
@@ -282,25 +453,115 @@ def map_trials(
     is derived deterministically from its run index, so nothing needs to be shipped besides
     the configuration); results still arrive in run order, which is what guarantees that
     parallel sweeps aggregate bit-identically to serial ones.  ``on_result`` is invoked in
-    the parent process, in run order, as each result becomes available (the CLI uses it for
-    progress reporting).
-    """
-    workers = resolve_workers(workers)
-    results: List[object] = []
-    if workers == 1 or config.runs <= 1:
-        for run_index in range(config.runs):
-            result = per_trial(build_trial(config, metric, density, run_index))
-            if on_result is not None:
-                on_result(run_index, result)
-            results.append(result)
-        return results
+    the parent process, in run order, as each result becomes available (the engine uses it
+    to emit per-trial sink events).
 
-    jobs = [
-        (config, metric, density, run_index, per_trial) for run_index in range(config.runs)
-    ]
-    with multiprocessing.Pool(processes=min(workers, config.runs)) as pool:
-        for run_index, result in enumerate(pool.imap(_trial_job, jobs, chunksize=1)):
+    Failure semantics: a trial that raises -- or, in the parallel path, misses its
+    ``trial_timeout`` deadline, which is also how a SIGKILLed worker's lost task surfaces
+    (the pool respawns dead processes on its own; the task is simply resubmitted) -- is
+    retried with bounded exponential backoff up to ``max_retries`` extra attempts
+    (``REPRO_MAX_RETRIES``).  Retries are bit-identical re-derivations, so a recovered
+    sweep equals an undisturbed one.  When retries are exhausted, ``on_error="fail"``
+    raises :class:`TrialExecutionError` and ``on_error="skip"`` records a
+    :class:`TrialFailure` in the trial's slot of the returned list (also handed to
+    ``on_result``).
+    """
+    if on_error not in ("fail", "skip"):
+        raise ValueError(f"on_error must be 'fail' or 'skip', got {on_error!r}")
+    workers = resolve_workers(workers)
+    max_retries = resolve_max_retries(max_retries)
+    if workers == 1 or config.runs <= 1:
+        return _map_trials_serial(config, metric, density, per_trial, on_result, max_retries, on_error)
+
+    trial_timeout = resolve_trial_timeout(trial_timeout)
+    pool_size = min(workers, config.runs)
+    results: List[object] = []
+    with multiprocessing.Pool(processes=pool_size) as pool:
+
+        def submit(run_index: int, attempt: int):
+            job = (config, metric, density, run_index, attempt, per_trial)
+            return pool.apply_async(_trial_job, (job,))
+
+        pending = {run_index: submit(run_index, 0) for run_index in range(config.runs)}
+        for run_index in range(config.runs):
+            attempt = 0
+            handle = pending.pop(run_index)
+            while True:
+                # Jobs are dispatched to workers in submission order, so when the
+                # consumer reaches run k the first submission of k is already running or
+                # done -- but a *resubmission* queues behind every later run, hence the
+                # deadline is stretched by the depth of the queue in front of it.
+                deadline = trial_timeout
+                if deadline is not None and attempt > 0:
+                    queued_ahead = config.runs - run_index - 1
+                    deadline = trial_timeout * (1.0 + queued_ahead / pool_size + attempt)
+                outcome, result_or_exc = _await_handle(pool, handle, deadline)
+                if outcome == "ok":
+                    result = result_or_exc
+                    break
+                exc = result_or_exc
+                if attempt >= max_retries:
+                    result = _give_up(density, run_index, attempt + 1, exc, on_error)
+                    break
+                time.sleep(_backoff_delay(attempt))
+                attempt += 1
+                handle = submit(run_index, attempt)
             if on_result is not None:
                 on_result(run_index, result)
             results.append(result)
     return results
+
+
+#: Polling granularity of the supervisor's wait (seconds); bounds how long a crashed
+#: worker goes unnoticed without burning CPU on the healthy path.
+_SUPERVISOR_POLL = 0.2
+
+
+def _pool_pids(pool) -> Optional[frozenset]:
+    """The pool's current worker PIDs (``None`` when the internals are unavailable)."""
+    try:
+        return frozenset(process.pid for process in pool._pool)
+    except Exception:  # noqa: BLE001 - private API; degrade to deadline-only detection
+        return None
+
+
+def _await_handle(pool, handle, deadline: Optional[float]) -> Tuple[str, object]:
+    """Wait for one trial's result, watching the pool for worker crashes.
+
+    Returns ``("ok", result)`` or ``("error", exception)``.  Waiting happens in short
+    slices; between slices the set of worker PIDs is compared against the snapshot taken
+    when the wait began.  A changed set means a worker died and the pool respawned it --
+    the task *may* have died with it, so the supervisor gives up on this handle
+    immediately instead of sitting out the full deadline.  (If the crashed worker was
+    running some *other* task, the resubmission merely duplicates work: trials are pure,
+    so whichever attempt's result is consumed, the bytes are the same.)  A ``None``
+    deadline waits forever but still reacts to crashes.
+    """
+    pids = _pool_pids(pool)
+    waited = 0.0
+    while True:
+        remaining = _SUPERVISOR_POLL if deadline is None else min(_SUPERVISOR_POLL, deadline - waited)
+        try:
+            return ("ok", handle.get(max(remaining, 0.0)))
+        except multiprocessing.TimeoutError:
+            pass
+        except Exception as exc:  # noqa: BLE001 - the trial's own exception, re-raised by get()
+            return ("error", exc)
+        waited += _SUPERVISOR_POLL
+        current = _pool_pids(pool)
+        if pids is not None and current is not None and current != pids:
+            return (
+                "error",
+                TimeoutError(
+                    "a worker process died while this trial was pending (respawned by "
+                    "the pool); the trial was retried"
+                ),
+            )
+        if deadline is not None and waited >= deadline:
+            return (
+                "error",
+                TimeoutError(
+                    f"no result within {deadline:g}s (worker killed, or trial hung past "
+                    f"REPRO_TRIAL_TIMEOUT)"
+                ),
+            )

@@ -16,9 +16,17 @@ For each experiment the engine calls, in order:
    ``payload`` is the measure's plain-data trial measurement; ``message`` is the measure's
    human-readable progress line or ``None``.  Progress reporting *is* this event: the
    legacy ``progress=callable`` keyword is a :class:`ProgressSink` wrapping the callable.
+   Under ``on_error="skip"`` a trial that exhausted its retries emits
+   ``on_trial_error(spec, density, run_index, failure)`` in its slot instead (``failure``
+   is a :class:`~repro.experiments.runner.TrialFailure`).
 3. ``on_density(spec, density, points)`` -- once per density, as soon as it is fully
    aggregated, with ``{selector_name: SeriesPoint}``.
 4. ``on_result(result)`` -- once, with the complete :class:`ExperimentResult`.
+
+``on_warning(spec, message)`` may interleave anywhere after ``on_sweep_start``: the engine
+emits it when it quarantines a raising sink (see below).  A sink whose handler raises is
+*quarantined*, not fatal -- the engine drops it from the sweep and tells the surviving
+sinks via ``on_warning``, so one broken consumer cannot kill a long run.
 
 ``close()`` is called by whoever created the sink, not by the engine -- one sink may span
 several experiments (``repro-figures --all`` feeds all four figures through the same
@@ -55,6 +63,12 @@ class ResultSink:
     def on_trial(self, spec, density: float, run_index: int, payload: dict, message: Optional[str]) -> None:
         pass
 
+    def on_trial_error(self, spec, density: float, run_index: int, failure) -> None:
+        """One trial exhausted its retries (``failure`` is a ``TrialFailure``)."""
+
+    def on_warning(self, spec, message: str) -> None:
+        """A non-fatal engine warning (e.g. another sink was quarantined)."""
+
     def on_density(self, spec, density: float, points: Dict[str, SeriesPoint]) -> None:
         pass
 
@@ -85,6 +99,15 @@ class ProgressSink(ResultSink):
     def on_trial(self, spec, density, run_index, payload, message) -> None:
         if message is not None:
             self.write(message)
+
+    def on_trial_error(self, spec, density, run_index, failure) -> None:
+        self.write(
+            f"[{spec.experiment_id}] density={density:g} run={run_index + 1} FAILED "
+            f"after {failure.attempts} attempt(s): {failure.error_type}: {failure.error}"
+        )
+
+    def on_warning(self, spec, message) -> None:
+        self.write(f"warning: {message}")
 
 
 class MemorySink(ResultSink):
@@ -131,18 +154,34 @@ class JsonlSink(ResultSink):
 
     * ``sweep_start`` -- the full spec (``spec``), so the file is self-contained;
     * ``trial`` -- ``density``, ``run`` and the raw measure ``payload``;
+    * ``trial_error`` -- a trial that exhausted its retries under ``on_error="skip"``
+      (``density``, ``run``, ``error``, ``error_type``, ``attempts``);
+    * ``warning`` -- a non-fatal engine warning (``message``), e.g. a quarantined sink;
     * ``density`` -- the per-selector point summaries of one finished density
       (``series: {name: {density, mean, std, count, ...}}``), the checkpointing unit;
     * ``result`` -- the complete result dictionary.
 
     ``trial`` lines can be disabled (``trials=False``) to keep long-run files compact
-    while retaining the per-density checkpoints.
+    while retaining the per-density checkpoints.  The stream is exactly what
+    :func:`repro.experiments.checkpoint.load_checkpoint` reads back to resume a killed
+    sweep (see ``docs/events.md`` for the resumability contract).
     """
 
     def __init__(self, path: Union[str, Path], trials: bool = True) -> None:
         self.path = Path(path)
         self.trials = trials
         self._stream: Optional[TextIO] = None
+
+    def ensure_writable(self) -> None:
+        """Fail fast (before any sweep work) if the sink's path cannot be written.
+
+        Probes by appending nothing, so an existing checkpoint stream at the same path --
+        the ``--resume`` case -- is left intact; the real stream still truncates lazily on
+        the first write.
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8"):
+            pass
 
     def _write(self, record: dict) -> None:
         if self._stream is None:
@@ -167,6 +206,24 @@ class JsonlSink(ResultSink):
                     "payload": payload,
                 }
             )
+
+    def on_trial_error(self, spec, density, run_index, failure) -> None:
+        self._write(
+            {
+                "event": "trial_error",
+                "experiment_id": spec.experiment_id,
+                "density": density,
+                "run": run_index,
+                "error": failure.error,
+                "error_type": failure.error_type,
+                "attempts": failure.attempts,
+            }
+        )
+
+    def on_warning(self, spec, message) -> None:
+        self._write(
+            {"event": "warning", "experiment_id": spec.experiment_id, "message": message}
+        )
 
     def on_density(self, spec, density, points) -> None:
         self._write(

@@ -16,13 +16,23 @@ override flag applies on top.  Results stream through the sink API: the text tab
 prints to stdout, ``--output`` adds a text-report file, ``--json`` the experiment-keyed
 JSON document, and ``--jsonl`` an incremental line-per-event file whose per-density
 checkpoints survive a killed run.
+
+A killed run is not a lost run: ``repro-sweep --resume out.jsonl`` reads the stream back
+(:mod:`repro.experiments.checkpoint`), skips the finished densities and rewrites the
+stream seamlessly -- the resumed output files are byte-identical to an uninterrupted
+run's.  A spec-hash guard refuses to resume under a different spec.  ``--on-error skip``
+lets a long sweep outlive trials that fail every retry (structured ``trial_error`` events
+plus per-point failure counts instead of an abort); ctrl-C exits with code 130 after
+flushing the checkpoint stream and printing where it lives.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import List, Optional, Tuple
 
+from repro.experiments.checkpoint import Checkpoint, CheckpointError, load_checkpoint, spec_hash
 from repro.experiments.engine import run_experiment
 from repro.experiments.reporting import render_report
 from repro.experiments.sinks import JsonlSink, JsonSink, ResultSink, TextReportSink, stderr_progress_sink
@@ -74,6 +84,15 @@ def build_parser() -> argparse.ArgumentParser:
     source.add_argument("--spec", default=None, help="load the experiment spec from this JSON file")
     source.add_argument("--preset", default=None, choices=None, help="start from a registered spec preset (e.g. fig6)")
     parser.add_argument("--list", action="store_true", help="list every registry's entries and exit")
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="JSONL",
+        help="resume a killed sweep from this JSONL checkpoint stream (finished densities "
+        "are skipped and re-emitted; without --spec/--preset the spec comes from the "
+        "stream itself, otherwise it must hash-match the stream's); also the default "
+        "--jsonl output path",
+    )
 
     overrides = parser.add_argument_group("spec field overrides")
     overrides.add_argument("--id", dest="experiment_id", default=None, help="experiment id (series key in JSON outputs)")
@@ -125,6 +144,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes per sweep (0 = one per CPU; default: $REPRO_WORKERS or serial); "
         "results are identical to a serial run",
     )
+    parser.add_argument(
+        "--on-error",
+        choices=("fail", "skip"),
+        default="fail",
+        help="fate of a trial that fails every retry: 'fail' aborts the sweep (default), "
+        "'skip' records a structured trial_error event plus per-point failure counts and "
+        "lets the sweep complete",
+    )
     parser.add_argument("--quiet", action="store_true", help="do not print per-run progress")
     return parser
 
@@ -150,11 +177,18 @@ def render_registries() -> str:
     return "\n".join(lines)
 
 
-def _base_spec(args: argparse.Namespace, parser: argparse.ArgumentParser) -> ExperimentSpec:
+def _base_spec(
+    args: argparse.Namespace,
+    parser: argparse.ArgumentParser,
+    checkpoint: Optional[Checkpoint] = None,
+) -> ExperimentSpec:
     if args.spec is not None:
         return ExperimentSpec.load(args.spec)
     if args.preset is not None:
         return PRESETS.create(args.preset)
+    if checkpoint is not None:
+        # --resume alone: the stream is self-contained, its sweep_start spec is the spec.
+        return checkpoint.spec
     missing = [flag for flag, value in (("--measure", args.measure), ("--metric", args.metric), ("--densities", args.densities)) if value is None]
     if missing:
         parser.error(
@@ -202,13 +236,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(render_registries())
         return 0
 
+    checkpoint: Optional[Checkpoint] = None
+    if args.resume:
+        try:
+            checkpoint = load_checkpoint(args.resume)
+        except (CheckpointError, OSError) as exc:
+            parser.error(f"cannot resume: {exc}")
+
     try:
-        spec = _apply_overrides(_base_spec(args, parser), args).validate_names()
+        spec = _apply_overrides(_base_spec(args, parser, checkpoint), args).validate_names()
     except (KeyError, ValueError, OSError) as exc:
         # Unknown registry names, malformed spec files and bad field values all carry
         # self-explanatory messages (the registry errors name their known entries).
         message = exc.args[0] if exc.args and isinstance(exc.args[0], str) else str(exc)
         parser.error(message)
+
+    if checkpoint is not None and spec_hash(spec) != checkpoint.spec_hash:
+        # The guard the engine would also apply -- surfaced here as a CLI error so a
+        # mismatched --spec/--preset/override never even starts a sweep.
+        parser.error(
+            f"refusing to resume {args.resume}: the requested spec does not match the "
+            f"one the stream was written by (spec-hash {spec_hash(spec)[:12]}... vs "
+            f"{checkpoint.spec_hash[:12]}...); drop the conflicting flags or start a "
+            f"fresh sweep without --resume"
+        )
 
     sinks: List[ResultSink] = []
     if not args.quiet:
@@ -218,8 +269,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.json_output:
         sinks.append(JsonSink(args.json_output))
     jsonl_sink: Optional[JsonlSink] = None
-    if args.jsonl_output:
-        jsonl_sink = JsonlSink(args.jsonl_output)
+    jsonl_path = args.jsonl_output or args.resume
+    if jsonl_path:
+        jsonl_sink = JsonlSink(jsonl_path)
+        try:
+            # Fail fast -- before any trial runs -- rather than losing a sweep to an
+            # unwritable path at the first checkpoint flush.  (The probe appends nothing,
+            # so a --resume stream at the same path is untouched until re-emission.)
+            jsonl_sink.ensure_writable()
+        except OSError as exc:
+            parser.error(f"cannot write the JSONL stream {jsonl_path}: {exc}")
         sinks.append(jsonl_sink)
 
     # The JSONL sink streams incrementally and must keep its per-density checkpoints even
@@ -227,7 +286,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     # and JSON report sinks buffer and write at close; they are closed only after success,
     # so a failed run never clobbers existing output files with a partial report.
     try:
-        result = run_experiment(spec, sinks=sinks, workers=args.workers)
+        result = run_experiment(
+            spec,
+            sinks=sinks,
+            workers=args.workers,
+            resume_from=checkpoint,
+            on_error=args.on_error,
+        )
+    except KeyboardInterrupt:
+        # The finally below flushes and closes the checkpoint stream; tell the user where
+        # it lives so the interrupted sweep is one --resume away from completion.
+        if jsonl_sink is not None:
+            print(
+                f"interrupted -- per-density checkpoints are in {jsonl_sink.path}; "
+                f"resume with: repro-sweep --resume {jsonl_sink.path}",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                "interrupted -- no --jsonl stream was attached, so nothing was "
+                "checkpointed (add --jsonl to make sweeps resumable)",
+                file=sys.stderr,
+            )
+        return 130
     finally:
         if jsonl_sink is not None:
             jsonl_sink.close()

@@ -1,0 +1,23 @@
+"""Deterministic test instrumentation shipped with the library.
+
+:mod:`repro.testing.faults` is the fault-injection harness the fault-tolerance suite and
+CI drive the crash-resilient sweep engine with; it lives in ``src`` (not ``tests``)
+because its trial-level hooks must be importable inside worker processes and sweep
+subprocesses.
+"""
+
+from repro.testing.faults import (
+    FaultPlan,
+    FaultySink,
+    InjectedFault,
+    apply_trial_faults,
+    parse_fault_plans,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultySink",
+    "InjectedFault",
+    "apply_trial_faults",
+    "parse_fault_plans",
+]

@@ -1,0 +1,167 @@
+"""Deterministic fault injection for the crash-resilient sweep engine.
+
+Hope is not a test plan: the fault-tolerance suite (``tests/test_fault_tolerance.py``) and
+the CI kill-and-resume smoke test drive the supervisor, the checkpoint/resume path and the
+sink quarantine with *injected* faults that fire at exactly addressed trials.  A fault
+plan is addressed by the same coordinates that make trials deterministic -- ``(density,
+run_index, attempt)`` -- so a plan means the same thing in a serial run, inside a
+``REPRO_WORKERS`` worker, and across a kill/resume boundary.
+
+Plans travel through the ``REPRO_FAULTS`` environment variable (inherited by worker
+processes and sweep subprocesses alike), as a ``;``-separated list of
+``kind@key=value,key=value`` clauses::
+
+    raise@density=9,run=0                 # poisoned trial: raises on every attempt
+    raise@density=9,run=0,attempts=2      # transient: raises on attempts 0 and 1 only
+    kill@density=9,run=1,attempts=1       # SIGKILL the executing process, first attempt only
+    kill@density=9,run=0                  # SIGKILL every attempt (under a serial sweep this
+                                          # kills the whole run -- the kill-then-resume scenario)
+
+Keys: ``density`` (float, matched exactly), ``run`` (int), and optional ``attempts``
+(int K: the fault fires while ``attempt < K``; omitted = every attempt).  ``kind`` is
+``raise`` (an :class:`InjectedFault`) or ``kill`` (``SIGKILL`` to the executing process --
+under ``REPRO_WORKERS`` that is a pool worker, exercising respawn-and-retry; serially it
+is the sweep process itself, exercising checkpoint/resume).
+
+The hook point is :func:`repro.experiments.runner._execute_trial`, which consults
+:func:`apply_trial_faults` only when ``REPRO_FAULTS`` is set -- production sweeps never
+import this module.  Sink-side faults do not need the environment channel (sinks run in
+the parent process): :class:`FaultySink` raises on an addressed event, exercising the
+engine's quarantine path.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.experiments.sinks import ResultSink
+
+#: The environment variable fault plans travel through.
+FAULTS_ENV = "REPRO_FAULTS"
+
+
+class InjectedFault(RuntimeError):
+    """The deterministic exception a ``raise`` fault plan throws inside a trial."""
+
+
+class FaultPlanError(ValueError):
+    """A ``REPRO_FAULTS`` value that does not parse."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One addressed fault: fire ``kind`` at trial ``(density, run_index)``.
+
+    ``attempts`` bounds the fault to the first K attempts (``None`` = every attempt), which
+    is how transient faults -- the kind supervision must *recover* from -- are expressed.
+    """
+
+    kind: str
+    density: float
+    run_index: int
+    attempts: Optional[int] = None
+
+    def matches(self, density: float, run_index: int, attempt: int) -> bool:
+        if density != self.density or run_index != self.run_index:
+            return False
+        return self.attempts is None or attempt < self.attempts
+
+    def fire(self) -> None:
+        if self.kind == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        raise InjectedFault(
+            f"injected fault at density={self.density:g} run={self.run_index}"
+        )
+
+
+def parse_fault_plans(text: str) -> List[FaultPlan]:
+    """Parse a ``REPRO_FAULTS`` value (see the module docstring for the syntax)."""
+    plans: List[FaultPlan] = []
+    for clause in text.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        kind, _, body = clause.partition("@")
+        kind = kind.strip()
+        if kind not in ("raise", "kill"):
+            raise FaultPlanError(f"unknown fault kind {kind!r} in {clause!r} (known: raise, kill)")
+        keys = {}
+        for pair in body.split(","):
+            name, _, value = pair.partition("=")
+            keys[name.strip()] = value.strip()
+        unknown = sorted(set(keys) - {"density", "run", "attempts"})
+        if unknown:
+            raise FaultPlanError(f"unknown fault key(s) {unknown} in {clause!r}")
+        try:
+            plans.append(
+                FaultPlan(
+                    kind=kind,
+                    density=float(keys["density"]),
+                    run_index=int(keys["run"]),
+                    attempts=int(keys["attempts"]) if "attempts" in keys else None,
+                )
+            )
+        except (KeyError, ValueError) as exc:
+            raise FaultPlanError(
+                f"fault clause {clause!r} needs density=<float>,run=<int>[,attempts=<int>] ({exc})"
+            ) from exc
+    return plans
+
+
+def apply_trial_faults(density: float, run_index: int, attempt: int) -> None:
+    """Fire the first matching ``REPRO_FAULTS`` plan for this trial attempt (if any).
+
+    Called from the runner's trial choke point in whichever process executes the trial;
+    re-reads the environment on every call so tests can monkeypatch plans per case.
+    """
+    text = os.environ.get(FAULTS_ENV, "")
+    if not text:
+        return
+    for plan in parse_fault_plans(text):
+        if plan.matches(density, run_index, attempt):
+            plan.fire()
+
+
+class FaultySink(ResultSink):
+    """A sink that raises ``OSError`` from an addressed handler (quarantine fodder).
+
+    ``fail_on`` names the handler (``"on_trial"``, ``"on_density"``, ...); ``after``
+    skips that many calls first, so mid-run failures are expressible.  Every event is
+    also counted in ``calls`` so tests can assert how far the sink got before (and
+    whether it was called after) quarantine.
+    """
+
+    def __init__(self, fail_on: str = "on_density", after: int = 0) -> None:
+        self.fail_on = fail_on
+        self.after = after
+        self.calls: List[str] = []
+        self._remaining = after
+
+    def _observe(self, handler: str) -> None:
+        self.calls.append(handler)
+        if handler == self.fail_on:
+            if self._remaining > 0:
+                self._remaining -= 1
+                return
+            raise OSError(f"injected sink failure in {handler}")
+
+    def on_sweep_start(self, spec) -> None:
+        self._observe("on_sweep_start")
+
+    def on_trial(self, spec, density, run_index, payload, message) -> None:
+        self._observe("on_trial")
+
+    def on_trial_error(self, spec, density, run_index, failure) -> None:
+        self._observe("on_trial_error")
+
+    def on_warning(self, spec, message) -> None:
+        self._observe("on_warning")
+
+    def on_density(self, spec, density, points) -> None:
+        self._observe("on_density")
+
+    def on_result(self, result) -> None:
+        self._observe("on_result")

@@ -1,0 +1,584 @@
+"""Fault-injection suite for the crash-resilient sweep engine.
+
+Headline invariant: a sweep killed at an arbitrary density boundary and resumed via
+``--resume`` produces final JSON/JSONL **byte-identical** to an uninterrupted run, both
+serial and under ``REPRO_WORKERS=2``; a SIGKILLed worker is survived by respawn-and-retry
+with the exact same trial payloads; a poisoned trial under ``--on-error skip`` becomes a
+structured failure event instead of an abort.  Every fault here is injected
+deterministically through :mod:`repro.testing.faults` -- nothing depends on timing luck.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import sweep_cli
+from repro.experiments import cli as figures_cli
+from repro.experiments.checkpoint import (
+    CheckpointError,
+    load_checkpoint,
+    point_from_dict,
+    spec_hash,
+)
+from repro.experiments.engine import run_experiment
+from repro.experiments.results import SeriesPoint
+from repro.experiments.runner import (
+    TrialExecutionError,
+    TrialFailure,
+    _backoff_delay,
+    resolve_max_retries,
+    resolve_trial_timeout,
+    resolve_workers,
+)
+from repro.experiments.sinks import JsonlSink, MemorySink, ResultSink
+from repro.experiments.spec import ExperimentSpec
+from repro.experiments.stats import summarize
+from repro.testing.faults import (
+    FaultPlan,
+    FaultPlanError,
+    FaultySink,
+    InjectedFault,
+    apply_trial_faults,
+    parse_fault_plans,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLE_SPEC = REPO_ROOT / "examples" / "specs" / "custom_delay_sweep.json"
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_env(monkeypatch):
+    """No fault/supervision configuration leaks between tests (or in from the outside)."""
+    for variable in ("REPRO_FAULTS", "REPRO_WORKERS", "REPRO_MAX_RETRIES", "REPRO_TRIAL_TIMEOUT"):
+        monkeypatch.delenv(variable, raising=False)
+    # Keep the deadline fallback short: crash detection is PID-watch based, but a
+    # pathological scheduling stall should fail a test in seconds, not minutes.
+    monkeypatch.setenv("REPRO_TRIAL_TIMEOUT", "30")
+
+
+def run_sweep(tmp_path: Path, tag: str, *extra: str) -> dict:
+    """Run the committed example spec through the CLI; return its output file contents."""
+    jsonl = tmp_path / f"{tag}.jsonl"
+    json_out = tmp_path / f"{tag}.json"
+    argv = ["--spec", str(EXAMPLE_SPEC), "--quiet", "--jsonl", str(jsonl), "--json", str(json_out)]
+    argv += list(extra)
+    exit_code = sweep_cli.main(argv)
+    return {
+        "exit_code": exit_code,
+        "jsonl_path": jsonl,
+        "jsonl": jsonl.read_text(),
+        "json": json_out.read_text() if json_out.exists() else None,
+    }
+
+
+# ---------------------------------------------------------------------- fault plan parsing
+
+
+class TestFaultPlans:
+    def test_parse_round_trip(self):
+        plans = parse_fault_plans("raise@density=9,run=0; kill@density=6.5,run=2,attempts=1")
+        assert plans == [
+            FaultPlan(kind="raise", density=9.0, run_index=0, attempts=None),
+            FaultPlan(kind="kill", density=6.5, run_index=2, attempts=1),
+        ]
+
+    def test_unknown_kind_and_key_are_errors(self):
+        with pytest.raises(FaultPlanError, match="unknown fault kind"):
+            parse_fault_plans("explode@density=1,run=0")
+        with pytest.raises(FaultPlanError, match="unknown fault key"):
+            parse_fault_plans("raise@density=1,run=0,worker=3")
+        with pytest.raises(FaultPlanError, match="density"):
+            parse_fault_plans("raise@run=0")
+
+    def test_attempt_bounded_matching(self):
+        plan = FaultPlan(kind="raise", density=9.0, run_index=1, attempts=2)
+        assert plan.matches(9.0, 1, 0) and plan.matches(9.0, 1, 1)
+        assert not plan.matches(9.0, 1, 2)  # recovered on the third attempt
+        assert not plan.matches(9.0, 0, 0) and not plan.matches(6.0, 1, 0)
+        unbounded = FaultPlan(kind="raise", density=9.0, run_index=1)
+        assert unbounded.matches(9.0, 1, 99)
+
+    def test_apply_trial_faults_is_a_no_op_without_the_env(self):
+        apply_trial_faults(9.0, 0, 0)  # must not raise
+
+    def test_apply_trial_faults_fires_on_address_match(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "raise@density=9,run=1")
+        apply_trial_faults(9.0, 0, 0)
+        apply_trial_faults(6.0, 1, 0)
+        with pytest.raises(InjectedFault):
+            apply_trial_faults(9.0, 1, 0)
+
+
+# ---------------------------------------------------------------------- kill-and-resume
+
+
+class TestKillAndResume:
+    @pytest.mark.parametrize("workers", [None, "2"], ids=["serial", "REPRO_WORKERS=2"])
+    def test_killed_at_density_boundary_resumes_byte_identical(self, tmp_path, monkeypatch, workers):
+        """The headline invariant: abort mid-sweep at a density boundary, resume, and the
+        final JSONL and JSON are byte-for-byte the uninterrupted run's."""
+        if workers is not None:
+            monkeypatch.setenv("REPRO_WORKERS", workers)
+        clean = run_sweep(tmp_path, "clean", "--runs", "2")
+        assert clean["exit_code"] == 0
+
+        # The run that dies: every attempt at (density=9, run=0) raises, on-error=fail.
+        monkeypatch.setenv("REPRO_FAULTS", "raise@density=9,run=0")
+        with pytest.raises(TrialExecutionError):
+            run_sweep(tmp_path, "killed", "--runs", "2")
+        monkeypatch.delenv("REPRO_FAULTS")
+
+        killed_events = [json.loads(line) for line in (tmp_path / "killed.jsonl").read_text().splitlines()]
+        assert [event["event"] for event in killed_events if event["event"] == "density"] == ["density"]
+
+        resumed = run_sweep(tmp_path, "killed", "--resume", str(tmp_path / "killed.jsonl"), "--runs", "2")
+        assert resumed["exit_code"] == 0
+        assert resumed["jsonl"] == clean["jsonl"]
+        assert resumed["json"] == clean["json"]
+
+    def test_sigkilled_process_resumes_byte_identical(self, tmp_path):
+        """The literal acceptance scenario: SIGKILL the sweep *process* mid-density via an
+        injected kill fault, then resume the orphaned stream."""
+        clean = run_sweep(tmp_path, "clean")
+        jsonl = tmp_path / "killed.jsonl"
+        json_out = tmp_path / "killed.json"
+        env = {
+            **os.environ,
+            "PYTHONPATH": str(REPO_ROOT / "src"),
+            "REPRO_FAULTS": "kill@density=9,run=0",
+        }
+        env.pop("REPRO_WORKERS", None)  # serial: the kill hits the sweep process itself
+        process = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.experiments.sweep_cli",
+                "--spec",
+                str(EXAMPLE_SPEC),
+                "--quiet",
+                "--jsonl",
+                str(jsonl),
+                "--json",
+                str(json_out),
+            ],
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            timeout=120,
+        )
+        assert process.returncode == -signal.SIGKILL
+        assert not json_out.exists()  # buffered report sink never wrote a partial file
+        checkpointed = [json.loads(line) for line in jsonl.read_text().splitlines()]
+        assert [e["event"] for e in checkpointed if e["event"] == "density"] == ["density"]
+
+        resumed = run_sweep(tmp_path, "killed", "--resume", str(jsonl))
+        assert resumed["exit_code"] == 0
+        assert resumed["jsonl"] == clean["jsonl"]
+        assert resumed["json"] == clean["json"]
+
+    def test_resume_of_a_complete_stream_is_idempotent(self, tmp_path):
+        clean = run_sweep(tmp_path, "clean")
+        again = run_sweep(tmp_path, "clean", "--resume", str(tmp_path / "clean.jsonl"))
+        assert again["exit_code"] == 0
+        assert again["jsonl"] == clean["jsonl"] and again["json"] == clean["json"]
+
+    def test_resume_alone_takes_the_spec_from_the_stream(self, tmp_path):
+        clean = run_sweep(tmp_path, "clean")
+        redo = tmp_path / "clean.jsonl"
+        exit_code = sweep_cli.main(["--resume", str(redo), "--quiet"])
+        assert exit_code == 0
+        assert redo.read_text() == clean["jsonl"]
+
+    def test_spec_hash_guard_refuses_a_mismatched_spec(self, tmp_path, capsys):
+        run_sweep(tmp_path, "clean")
+        with pytest.raises(SystemExit):
+            sweep_cli.main(
+                ["--resume", str(tmp_path / "clean.jsonl"), "--quiet", "--runs", "5"]
+            )
+        assert "refusing to resume" in capsys.readouterr().err
+
+    def test_engine_level_guard_also_refuses(self, tmp_path):
+        run_sweep(tmp_path, "clean")
+        other = ExperimentSpec.load(EXAMPLE_SPEC).with_overrides(runs=5)
+        with pytest.raises(ValueError, match="refusing to resume"):
+            run_experiment(other, resume_from=tmp_path / "clean.jsonl")
+
+    def test_truncated_final_line_is_tolerated(self, tmp_path):
+        """A SIGKILL mid-write leaves a torn last line; everything before it stands."""
+        clean = run_sweep(tmp_path, "clean")
+        stream = tmp_path / "clean.jsonl"
+        lines = stream.read_text().splitlines()
+        torn = "\n".join(lines[:2]) + '\n{"event": "densi'
+        stream.write_text(torn)
+        checkpoint = load_checkpoint(stream)
+        assert checkpoint.densities == {} and not checkpoint.complete
+        resumed = run_sweep(tmp_path, "clean", "--resume", str(stream))
+        assert resumed["jsonl"] == clean["jsonl"]
+
+    def test_stream_without_sweep_start_is_a_clean_error(self, tmp_path, capsys):
+        stream = tmp_path / "not-a-checkpoint.jsonl"
+        stream.write_text('{"event": "density", "density": 6.0, "series": {}}\n')
+        with pytest.raises(CheckpointError, match="no sweep_start"):
+            load_checkpoint(stream)
+        with pytest.raises(SystemExit):
+            sweep_cli.main(["--resume", str(stream), "--quiet"])
+        assert "cannot resume" in capsys.readouterr().err
+
+    def test_mid_stream_corruption_is_an_error(self, tmp_path):
+        run_sweep(tmp_path, "clean")
+        stream = tmp_path / "clean.jsonl"
+        lines = stream.read_text().splitlines()
+        lines[1] = "corrupt {{{"
+        stream.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointError, match=":2"):
+            load_checkpoint(stream)
+
+    def test_unfinished_density_trials_are_discarded(self, tmp_path):
+        """Trial lines after the last density event belong to a density that never
+        finished; the resume re-runs that density from scratch."""
+        clean = run_sweep(tmp_path, "clean")
+        stream = tmp_path / "clean.jsonl"
+        events = [json.loads(line) for line in stream.read_text().splitlines()]
+        density_indices = [i for i, e in enumerate(events) if e["event"] == "density"]
+        # Cut after the first density's trial-of-the-second-density: keep everything up
+        # to (and including) the second density's trial line, drop the rest.
+        cut = [e for e in events[: density_indices[1]] if e["event"] != "result"]
+        stream.write_text("".join(json.dumps(e, sort_keys=True) + "\n" for e in cut))
+        checkpoint = load_checkpoint(stream)
+        assert list(checkpoint.densities) == [6.0]
+        assert checkpoint.densities[6.0].trials  # the finished density kept its trials
+        resumed = run_sweep(tmp_path, "clean", "--resume", str(stream))
+        assert resumed["jsonl"] == clean["jsonl"] and resumed["json"] == clean["json"]
+
+
+# ---------------------------------------------------------------------- worker supervision
+
+
+class TestWorkerSupervision:
+    def test_sigkilled_worker_is_respawned_and_the_trial_retried(self, tmp_path, monkeypatch):
+        """A worker process SIGKILLed mid-density must not take the sweep down, and the
+        retried trial must reproduce the exact payload bytes of an undisturbed run."""
+        clean = run_sweep(tmp_path, "clean", "--runs", "2")
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        monkeypatch.setenv("REPRO_FAULTS", "kill@density=9,run=0,attempts=1")
+        recovered = run_sweep(tmp_path, "recovered", "--runs", "2")
+        assert recovered["exit_code"] == 0
+        assert recovered["jsonl"] == clean["jsonl"]
+        assert recovered["json"] == clean["json"]
+
+    @pytest.mark.parametrize("workers", [None, "2"], ids=["serial", "REPRO_WORKERS=2"])
+    def test_transient_raise_is_retried_to_bit_identity(self, tmp_path, monkeypatch, workers):
+        clean = run_sweep(tmp_path, "clean", "--runs", "2")
+        if workers is not None:
+            monkeypatch.setenv("REPRO_WORKERS", workers)
+        monkeypatch.setenv("REPRO_FAULTS", "raise@density=9,run=1,attempts=2")
+        recovered = run_sweep(tmp_path, "recovered", "--runs", "2")
+        assert recovered["exit_code"] == 0
+        assert recovered["jsonl"] == clean["jsonl"]
+        assert recovered["json"] == clean["json"]
+
+    @pytest.mark.parametrize("workers", [None, "2"], ids=["serial", "REPRO_WORKERS=2"])
+    def test_poisoned_trial_aborts_under_fail(self, tmp_path, monkeypatch, workers):
+        if workers is not None:
+            monkeypatch.setenv("REPRO_WORKERS", workers)
+        monkeypatch.setenv("REPRO_FAULTS", "raise@density=6,run=0")
+        monkeypatch.setenv("REPRO_MAX_RETRIES", "1")
+        with pytest.raises(TrialExecutionError) as caught:
+            run_sweep(tmp_path, "poisoned", "--runs", "2")
+        failure = caught.value.failure
+        assert (failure.density, failure.run_index) == (6.0, 0)
+        assert failure.error_type == "InjectedFault" and failure.attempts == 2
+
+    @pytest.mark.parametrize("workers", [None, "2"], ids=["serial", "REPRO_WORKERS=2"])
+    def test_on_error_skip_records_structured_failure(self, tmp_path, monkeypatch, workers):
+        """The acceptance case: a poisoned trial under --on-error skip completes the sweep
+        with a trial_error event and per-point failure counts instead of aborting."""
+        if workers is not None:
+            monkeypatch.setenv("REPRO_WORKERS", workers)
+        monkeypatch.setenv("REPRO_FAULTS", "raise@density=6,run=0")
+        result = run_sweep(tmp_path, "skipped", "--runs", "2", "--on-error", "skip")
+        assert result["exit_code"] == 0
+
+        events = [json.loads(line) for line in result["jsonl"].splitlines()]
+        kinds = [event["event"] for event in events]
+        assert kinds.count("trial_error") == 1 and kinds.count("density") == 2
+        error = next(event for event in events if event["event"] == "trial_error")
+        assert error["density"] == 6.0 and error["run"] == 0
+        assert error["error_type"] == "InjectedFault" and error["attempts"] == 3
+
+        spec = ExperimentSpec.load(EXAMPLE_SPEC)
+        payload = json.loads(result["json"])[spec.experiment_id]
+        for name in spec.selectors:
+            by_density = {point["density"]: point for point in payload["series"][name]}
+            assert by_density[6.0]["failed_trials"] == 1.0
+            assert "failed_trials" not in by_density[9.0]
+
+    def test_on_error_skip_is_bit_identical_serial_vs_parallel(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "raise@density=6,run=0")
+        serial = run_sweep(tmp_path, "serial", "--runs", "2", "--on-error", "skip")
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        parallel = run_sweep(tmp_path, "parallel", "--runs", "2", "--on-error", "skip")
+        assert parallel["jsonl"] == serial["jsonl"]
+        assert parallel["json"] == serial["json"]
+
+    def test_failure_stream_resumes_byte_identically(self, tmp_path, monkeypatch):
+        """trial_error events are part of the checkpoint: replaying a stream that contains
+        recorded failures reproduces it byte-for-byte."""
+        monkeypatch.setenv("REPRO_FAULTS", "raise@density=6,run=0")
+        first = run_sweep(tmp_path, "failures", "--runs", "2", "--on-error", "skip")
+        monkeypatch.delenv("REPRO_FAULTS")
+        # Resume the complete stream without the fault: nothing re-runs, so the recorded
+        # failure must be replayed, not recomputed away.
+        again = run_sweep(
+            tmp_path, "failures", "--resume", str(tmp_path / "failures.jsonl"),
+            "--runs", "2", "--on-error", "skip",
+        )
+        assert again["jsonl"] == first["jsonl"] and again["json"] == first["json"]
+
+    def test_backoff_is_bounded_exponential(self):
+        delays = [_backoff_delay(attempt) for attempt in range(8)]
+        assert delays == sorted(delays)
+        assert delays[0] == pytest.approx(0.05)
+        assert delays[1] == pytest.approx(0.10)
+        assert max(delays) == 2.0  # bounded
+
+    def test_on_error_rejects_unknown_modes(self):
+        from repro.experiments.runner import map_trials
+
+        spec = ExperimentSpec.load(EXAMPLE_SPEC)
+        with pytest.raises(ValueError, match="on_error"):
+            map_trials(spec.sweep_config(), None, 6.0, lambda t: t, on_error="explode")
+
+
+# ---------------------------------------------------------------------- env validation
+
+
+class TestSupervisionEnvValidation:
+    @pytest.mark.parametrize("bad", ["0", "-1", "-8"])
+    def test_repro_workers_rejects_non_positive(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_WORKERS", bad)
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            resolve_workers()
+
+    def test_repro_workers_rejects_absurd_counts(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "100000")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            resolve_workers()
+
+    def test_repro_workers_rejects_garbage_naming_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "two")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            resolve_workers()
+
+    def test_workers_argument_keeps_its_documented_zero_meaning(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "0")  # env zero is an error ...
+        assert resolve_workers(0) >= 1  # ... but the --workers 0 argument is per-CPU
+        assert resolve_workers(3) == 3
+        with pytest.raises(ValueError, match="workers"):
+            resolve_workers(-2)
+        with pytest.raises(ValueError, match="sanity cap"):
+            resolve_workers(99999)
+
+    def test_max_retries_parsing(self, monkeypatch):
+        assert resolve_max_retries() == 2
+        monkeypatch.setenv("REPRO_MAX_RETRIES", "5")
+        assert resolve_max_retries() == 5
+        assert resolve_max_retries(0) == 0
+        monkeypatch.setenv("REPRO_MAX_RETRIES", "-1")
+        with pytest.raises(ValueError, match="REPRO_MAX_RETRIES"):
+            resolve_max_retries()
+        monkeypatch.setenv("REPRO_MAX_RETRIES", "many")
+        with pytest.raises(ValueError, match="REPRO_MAX_RETRIES"):
+            resolve_max_retries()
+
+    def test_trial_timeout_parsing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRIAL_TIMEOUT", raising=False)
+        assert resolve_trial_timeout() == 300.0
+        monkeypatch.setenv("REPRO_TRIAL_TIMEOUT", "7.5")
+        assert resolve_trial_timeout() == 7.5
+        monkeypatch.setenv("REPRO_TRIAL_TIMEOUT", "0")
+        assert resolve_trial_timeout() is None  # 0 disables the deadline
+        monkeypatch.setenv("REPRO_TRIAL_TIMEOUT", "-3")
+        with pytest.raises(ValueError, match="REPRO_TRIAL_TIMEOUT"):
+            resolve_trial_timeout()
+        monkeypatch.setenv("REPRO_TRIAL_TIMEOUT", "soon")
+        with pytest.raises(ValueError, match="REPRO_TRIAL_TIMEOUT"):
+            resolve_trial_timeout()
+
+
+# ---------------------------------------------------------------------- sink error paths
+
+
+class _WarningRecorder(ResultSink):
+    def __init__(self) -> None:
+        self.warnings = []
+
+    def on_warning(self, spec, message) -> None:
+        self.warnings.append(message)
+
+
+class TestSinkErrorPaths:
+    def test_unwritable_jsonl_fails_fast_before_the_sweep(self, tmp_path, capsys, monkeypatch):
+        blocker = tmp_path / "not-a-directory"
+        blocker.write_text("a regular file where a directory is needed")
+        ran = []
+        monkeypatch.setattr(sweep_cli, "run_experiment", lambda *a, **k: ran.append(1))
+        with pytest.raises(SystemExit):
+            sweep_cli.main(
+                [
+                    "--spec",
+                    str(EXAMPLE_SPEC),
+                    "--quiet",
+                    "--jsonl",
+                    str(blocker / "out.jsonl"),
+                ]
+            )
+        assert "cannot write the JSONL stream" in capsys.readouterr().err
+        assert not ran  # the error fired before any sweep work started
+
+    def test_raising_sink_is_quarantined_not_fatal(self):
+        spec = ExperimentSpec.load(EXAMPLE_SPEC)
+        faulty = FaultySink(fail_on="on_density")
+        memory = MemorySink()
+        recorder = _WarningRecorder()
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            result = run_experiment(spec, sinks=(faulty, memory, recorder))
+        # The sweep completed, the healthy sinks saw everything...
+        assert memory.results == [result]
+        assert len(recorder.warnings) == 1 and "FaultySink" in recorder.warnings[0]
+        # ...and the offender was dropped at its first raise, never called again.
+        assert faulty.calls.count("on_density") == 1
+        assert "on_result" not in faulty.calls
+
+    def test_mid_run_oserror_in_jsonl_sink_is_quarantined(self, tmp_path):
+        """The satellite case verbatim: an injected OSError on a sink write mid-run must
+        quarantine the sink, not kill the sweep."""
+        spec = ExperimentSpec.load(EXAMPLE_SPEC)
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path)
+        original_write = sink._write
+        writes = []
+
+        def failing_write(record):
+            writes.append(record["event"])
+            if len(writes) == 3:
+                raise OSError("disk full (injected)")
+            original_write(record)
+
+        sink._write = failing_write
+        recorder = _WarningRecorder()
+        with pytest.warns(RuntimeWarning, match="JsonlSink"):
+            result = run_experiment(spec, sinks=(sink, recorder))
+        sink.close()
+        assert result.series  # the sweep finished with data
+        assert recorder.warnings and "quarantined" in recorder.warnings[0]
+        on_disk = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(on_disk) == 2  # everything before the injected failure was flushed
+
+    def test_keyboard_interrupt_is_not_quarantined(self):
+        spec = ExperimentSpec.load(EXAMPLE_SPEC)
+
+        class CtrlC(ResultSink):
+            def on_density(self, spec, density, points):
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            run_experiment(spec, sinks=(CtrlC(),))
+
+    def test_engine_with_zero_sinks_returns_a_correct_result(self):
+        spec = ExperimentSpec.load(EXAMPLE_SPEC)
+        memory = MemorySink()
+        with_sinks = run_experiment(spec, sinks=(memory,))
+        bare = run_experiment(spec)
+        assert bare.to_dict() == with_sinks.to_dict() == memory.results[0].to_dict()
+
+
+# ---------------------------------------------------------------------- interrupt handling
+
+
+class TestKeyboardInterruptExits:
+    def test_sweep_cli_exits_130_and_points_at_the_checkpoint(self, tmp_path, capsys, monkeypatch):
+        jsonl = tmp_path / "events.jsonl"
+
+        def interrupted_run(spec, sinks=(), **kwargs):
+            for sink in sinks:
+                sink.on_sweep_start(spec)
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(sweep_cli, "run_experiment", interrupted_run)
+        exit_code = sweep_cli.main(
+            ["--spec", str(EXAMPLE_SPEC), "--quiet", "--jsonl", str(jsonl)]
+        )
+        assert exit_code == 130
+        err = capsys.readouterr().err
+        assert str(jsonl) in err and "--resume" in err
+        # The stream was flushed and closed: the events so far are on disk.
+        events = [json.loads(line) for line in jsonl.read_text().splitlines()]
+        assert [event["event"] for event in events] == ["sweep_start"]
+
+    def test_sweep_cli_exits_130_without_jsonl_too(self, capsys, monkeypatch):
+        monkeypatch.setattr(
+            sweep_cli, "run_experiment", lambda *a, **k: (_ for _ in ()).throw(KeyboardInterrupt())
+        )
+        exit_code = sweep_cli.main(["--spec", str(EXAMPLE_SPEC), "--quiet"])
+        assert exit_code == 130
+        assert "no --jsonl stream" in capsys.readouterr().err
+
+    def test_figures_cli_exits_130_and_leaves_outputs_alone(self, tmp_path, capsys, monkeypatch):
+        output = tmp_path / "report.txt"
+        output.write_text("previous good report")
+        monkeypatch.setattr(
+            figures_cli, "run_figure", lambda *a, **k: (_ for _ in ()).throw(KeyboardInterrupt())
+        )
+        exit_code = figures_cli.main(
+            ["--figure", "6", "--profile", "smoke", "--quiet", "--output", str(output)]
+        )
+        assert exit_code == 130
+        assert "interrupted" in capsys.readouterr().err
+        assert output.read_text() == "previous good report"
+
+
+# ---------------------------------------------------------------------- checkpoint pieces
+
+
+class TestCheckpointModule:
+    def test_spec_hash_is_stable_and_sensitive(self):
+        spec = ExperimentSpec.load(EXAMPLE_SPEC)
+        assert spec_hash(spec) == spec_hash(ExperimentSpec.from_dict(spec.to_dict()))
+        assert spec_hash(spec) != spec_hash(spec.with_overrides(seed=spec.seed + 1))
+
+    def test_point_round_trips_through_its_dict_form(self):
+        point = SeriesPoint(
+            density=9.0,
+            summary=summarize([1.0, 2.0, 4.0]),
+            extra={"delivery_ratio": 0.5, "per_step_mean": [0.1, 0.2]},
+        )
+        rebuilt = point_from_dict(point.to_dict())
+        assert rebuilt.to_dict() == point.to_dict()
+        assert math.isnan(rebuilt.summary.minimum)  # min/max are not serialized
+
+    def test_loaded_checkpoint_carries_trials_and_points(self, tmp_path):
+        run_sweep(tmp_path, "clean", "--runs", "2")
+        checkpoint = load_checkpoint(tmp_path / "clean.jsonl")
+        spec = ExperimentSpec.load(EXAMPLE_SPEC).with_overrides(runs=2)
+        assert checkpoint.spec.to_dict() == spec.to_dict() and checkpoint.complete
+        assert list(checkpoint.densities) == [6.0, 9.0]
+        for density_checkpoint in checkpoint.densities.values():
+            assert [run for run, _ in density_checkpoint.trials] == [0, 1]
+            assert set(density_checkpoint.points) == set(spec.selectors)
+
+    def test_failure_records_round_trip_as_trial_failures(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "raise@density=6,run=1")
+        run_sweep(tmp_path, "failing", "--runs", "2", "--on-error", "skip")
+        checkpoint = load_checkpoint(tmp_path / "failing.jsonl")
+        records = dict(checkpoint.densities[6.0].trials)
+        assert isinstance(records[1], TrialFailure)
+        assert records[1].error_type == "InjectedFault" and records[1].attempts == 3
