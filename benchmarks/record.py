@@ -356,6 +356,60 @@ def _legacy_ans_size_sweep(config: SweepConfig, metric) -> ExperimentResult:
     return result
 
 
+def record_csr_kernels(rounds: int) -> dict:
+    """Network-wide first-hop solves: per-view scalar solvers vs the batched CSR kernels.
+
+    One timed round produces every owner's all-targets first-hop sets on the dense
+    benchmark network, starting from cold solver caches each time (the views
+    themselves are pre-built once -- the adjacency bookkeeping is shared by both
+    paths).  The scalar round rebuilds every view's compact graph and runs the
+    per-view solvers (that per-link re-extraction cost is exactly what the shared
+    CSR eliminates); the batched round builds one :class:`NetworkGraph` from
+    scratch, attaches the views and primes them through the stacked numpy kernels
+    (:func:`prime_first_hops`).  Both sides' results are asserted equal before
+    timing.
+    """
+    from repro.localview import NetworkGraph, prime_first_hops
+
+    network = dense_network()
+    views = list(LocalView.all_from_network(network).values())
+    sections = {}
+    for metric in (DelayMetric(), BandwidthMetric()):
+        token = metric.cache_token()
+
+        def scalar():
+            for view in views:
+                view._compact = {}
+                view._forest = {}
+                view._first_hops = {}
+            return {view.owner: all_first_hops(view, metric) for view in views}
+
+        def batched():
+            for view in views:
+                view._first_hops = {}
+            ng = NetworkGraph.from_network(network)
+            for view in views:
+                view.attach_network_graph(ng)
+            prime_first_hops(views, metric)
+            return {view.owner: view._first_hops[token] for view in views}
+
+        if scalar() != batched():
+            raise AssertionError(f"batched CSR kernels diverge from scalar ({metric.name})")
+        scalar_timing = time_case(scalar, rounds)
+        batched_timing = time_case(batched, rounds)
+        sections[metric.name] = {
+            "scalar_per_view": scalar_timing,
+            "batched_csr": batched_timing,
+            "batched_speedup": scalar_timing["min_s"] / batched_timing["min_s"],
+        }
+    sections["network"] = {
+        "nodes": len(network),
+        "edges": network.number_of_links(),
+        "owners": len(network),
+    }
+    return sections
+
+
 def record_engine_dispatch(rounds: int) -> dict:
     """Generic spec/registry engine vs the legacy direct-call harness on one small sweep.
 
@@ -425,6 +479,7 @@ def record(rounds: int) -> dict:
         "engine_dispatch": record_engine_dispatch(max(5, rounds // 4)),
         "mobility": record_mobility(max(3, rounds // 8)),
         "incremental_selection": record_incremental_selection(max(3, rounds // 8)),
+        "csr_kernels": record_csr_kernels(max(3, rounds // 8)),
     }
 
 
@@ -477,6 +532,13 @@ def main(argv=None) -> int:
             f"from-scratch {selection['from_scratch']['min_s'] * 1e3:.3f} ms  "
             f"cached {selection['cached']['min_s'] * 1e3:.3f} ms  "
             f"({selection['incremental_speedup']:.2f}x)"
+        )
+    for name in ("delay", "bandwidth"):
+        kernels = payload["csr_kernels"][name]
+        print(
+            f"csr kernels ({name}): scalar {kernels['scalar_per_view']['min_s'] * 1e3:.3f} ms  "
+            f"batched {kernels['batched_csr']['min_s'] * 1e3:.3f} ms  "
+            f"({kernels['batched_speedup']:.2f}x)"
         )
     print(f"wrote {args.output}")
     return 0

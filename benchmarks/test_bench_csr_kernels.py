@@ -1,0 +1,70 @@
+"""CI floor for the batched CSR kernels: never slower than the per-view scalar path.
+
+``record.py`` tracks the full speedup trajectory (``csr_kernels`` section of
+``BENCH_selection.json``; ~3x on the dense benchmark network at the time of writing).
+This test enforces only the regression floor -- the batched kernels must not fall
+below parity with the scalar solvers they replace -- plus the result-equality bar,
+so a speedup that silently becomes a slowdown (or a divergence) fails the smoke run.
+"""
+
+from __future__ import annotations
+
+import time
+
+from record import dense_network
+
+from repro.localview import LocalView, NetworkGraph, all_first_hops, prime_first_hops
+from repro.metrics import BandwidthMetric, DelayMetric
+
+ROUNDS = 3
+
+
+def _solve_rounds(metric):
+    """(scalar_min_s, batched_min_s) for cold-cache full-network first-hop solves."""
+    network = dense_network()
+    views = list(LocalView.all_from_network(network).values())
+    token = metric.cache_token()
+
+    def scalar():
+        for view in views:
+            view._compact = {}
+            view._forest = {}
+            view._first_hops = {}
+        return {view.owner: all_first_hops(view, metric) for view in views}
+
+    def batched():
+        for view in views:
+            view._first_hops = {}
+        ng = NetworkGraph.from_network(network)
+        for view in views:
+            view.attach_network_graph(ng)
+        prime_first_hops(views, metric)
+        return {view.owner: view._first_hops[token] for view in views}
+
+    assert scalar() == batched(), "batched CSR kernels diverge from the scalar solvers"
+    scalar_s = []
+    batched_s = []
+    for _ in range(ROUNDS):
+        t0 = time.perf_counter()
+        scalar()
+        scalar_s.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        batched()
+        batched_s.append(time.perf_counter() - t0)
+    return min(scalar_s), min(batched_s)
+
+
+def test_batched_delay_kernel_at_least_matches_scalar():
+    scalar_s, batched_s = _solve_rounds(DelayMetric())
+    assert batched_s <= scalar_s, (
+        f"batched delay kernel regressed below 1.0x of the scalar path: "
+        f"scalar {scalar_s:.4f}s vs batched {batched_s:.4f}s"
+    )
+
+
+def test_batched_bandwidth_kernel_at_least_matches_scalar():
+    scalar_s, batched_s = _solve_rounds(BandwidthMetric())
+    assert batched_s <= scalar_s, (
+        f"batched bandwidth kernel regressed below 1.0x of the scalar path: "
+        f"scalar {scalar_s:.4f}s vs batched {batched_s:.4f}s"
+    )

@@ -102,6 +102,9 @@ class FnbpSelector(AnsSelector):
     cover_one_hop: bool = True
 
     name = "fnbp"
+    # FNBP's per-view cost is one all_first_hops solve; select_all batches those over
+    # the shared network CSR when the views are attached to one.
+    batches_first_hops = True
 
     def __post_init__(self) -> None:
         if isinstance(self.loop_guard, str):

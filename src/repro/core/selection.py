@@ -13,6 +13,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, Iterable, Optional, Set, Tuple
 
+from repro.localview.paths import prime_first_hops
 from repro.localview.view import LocalView
 from repro.metrics.base import Metric
 from repro.registry import SELECTORS
@@ -82,6 +83,12 @@ class AnsSelector(ABC):
     #: Registry / display name of the algorithm.
     name: str = "abstract"
 
+    #: Selectors whose per-view work is dominated by ``all_first_hops`` set this True;
+    #: :meth:`select_all` then batch-primes the first-hop caches of every view that will
+    #: actually re-run through the shared-CSR kernels (:func:`prime_first_hops`) before
+    #: the per-view loop, so the scalar solvers only run where batching is impossible.
+    batches_first_hops: bool = False
+
     @abstractmethod
     def select(self, view: LocalView, metric: Metric) -> SelectionResult:
         """Run the selection at ``view.owner`` for the given metric."""
@@ -117,9 +124,22 @@ class AnsSelector(ABC):
         if views is None:
             views = LocalView.all_from_network(network)
         if previous is None:
+            if self.batches_first_hops:
+                prime_first_hops(views.values(), metric)
             return {node: self.select(view, metric) for node, view in views.items()}
         if not isinstance(dirty, (set, frozenset)):
             dirty = set(dirty)
+        # Batch only the owners that will actually re-run: everyone else's result is
+        # reused verbatim below, so priming them would be pure waste.
+        if self.batches_first_hops:
+            prime_first_hops(
+                (
+                    view
+                    for node, view in views.items()
+                    if previous.get(node) is None or node in dirty
+                ),
+                metric,
+            )
         results: Dict[NodeId, SelectionResult] = {}
         for node, view in views.items():
             cached = previous.get(node)

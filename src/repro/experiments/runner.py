@@ -42,6 +42,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Un
 
 from repro.core.selection import AnsSelector, SelectionCache, SelectionResult, make_selector
 from repro.experiments.config import SweepConfig
+from repro.localview.networkgraph import NetworkGraph
 from repro.localview.view import LocalView
 from repro.metrics import Metric, UniformWeightAssigner
 from repro.registry import TOPOLOGY_MODELS
@@ -62,6 +63,7 @@ class Trial:
     network: Network
     generator: Optional[object] = None
     _views: Optional[Dict[NodeId, LocalView]] = None
+    _network_graph: Optional[NetworkGraph] = None
     _selections: Dict[str, Dict[NodeId, SelectionResult]] = field(default_factory=dict)
     _advertised: Optional[AdvertisedTopology] = None
     _advertised_builder: Optional[AdvertisedTopologyBuilder] = None
@@ -72,23 +74,41 @@ class Trial:
 
     # ------------------------------------------------------------------ views
 
+    def network_graph(self) -> NetworkGraph:
+        """The trial's shared network-level CSR (built once, windowed by every view).
+
+        One flat ``indptr``/``indices`` adjacency plus one numpy weight array per metric
+        token for the whole network; the views returned by :meth:`views` attach to it so
+        the batched solver kernels can expand all owners' frontiers together.  Snapshot
+        semantics: like :meth:`views`, it describes the trial's network at build time.
+        """
+        if self._network_graph is None:
+            self._network_graph = NetworkGraph.from_network(self.network)
+        return self._network_graph
+
     def views(self) -> Dict[NodeId, LocalView]:
         """Every node's local view (built once in a single adjacency pass, shared by all
-        selectors)."""
+        selectors), attached to the trial's shared :meth:`network_graph`."""
         if self._views is None:
-            self._views = LocalView.all_from_network(self.network)
+            self._views = LocalView.all_from_network(
+                self.network, network_graph=self.network_graph()
+            )
         return self._views
 
     # ------------------------------------------------------------------ selections
 
     def selections(self, selector_name: str) -> Dict[NodeId, SelectionResult]:
-        """Per-node selection results of one selector (cached)."""
+        """Per-node selection results of one selector (cached).
+
+        Runs through :meth:`AnsSelector.select_all` so selectors that batch (FNBP's
+        first-hop solves run as shared-CSR kernels over all owners at once) get their
+        fast path; per-owner results are bit-identical to per-view ``select`` calls.
+        """
         if selector_name not in self._selections:
             selector = make_selector(selector_name)
-            views = self.views()
-            self._selections[selector_name] = {
-                node: selector.select(view, self.metric) for node, view in views.items()
-            }
+            self._selections[selector_name] = selector.select_all(
+                self.network, self.metric, views=self.views()
+            )
         return self._selections[selector_name]
 
     def advertised_topology(self, selector_name: str) -> AdvertisedTopology:

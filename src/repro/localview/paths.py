@@ -231,6 +231,14 @@ def all_first_hops(
     if method == "per-target":
         return {target: first_hops_to(view, target, metric) for target in view.known_targets()}
     if method == "auto":
+        primed = view._first_hops.get(metric.cache_token())
+        if primed is not None:
+            # Batch-primed by prime_first_hops (bit-identical to the scalar dispatch
+            # below by the differential suite's lock).  Only the auto dispatch consults
+            # this cache, and only the batched kernels populate it: explicit-method
+            # calls and scalar runs stay un-cached so the method-comparison tests and
+            # the benchmark recorder keep measuring real solver work.
+            return primed
         if metric.kind is MetricKind.ADDITIVE and metric.prefix_optimal:
             method = "owner-dijkstra"
         elif metric.kind is MetricKind.CONCAVE:
@@ -488,6 +496,47 @@ def _all_first_hops_bottleneck_forest(view: LocalView, metric: Metric) -> Dict[N
             )
         results[target] = FirstHopResult(target=target, best_value=best_value, first_hops=first_hops)
     return results
+
+
+def prime_first_hops(views: Iterable[LocalView], metric: Metric) -> int:
+    """Batch-compute auto-method first-hop results for network-graph-backed views.
+
+    The integration point of the batched CSR kernels (:mod:`repro.localview.batched`):
+    views attached to a shared :class:`~repro.localview.networkgraph.NetworkGraph` get
+    their ``all_first_hops(view, metric)`` result computed for all owners at once and
+    cached on the view; the next auto-dispatch call returns it directly.  Views without
+    a shared graph (or with one the metric cannot be batched on -- composite metrics,
+    missing attributes) are silently left for the scalar path, which the differential
+    suite pins bit-identical to the batched one, so callers never need to care which
+    path answered.
+
+    Returns the number of views primed (0 when nothing was batchable), which the tests
+    use to assert the batched path actually engaged.
+    """
+    token = metric.cache_token()
+    groups: Dict[int, Tuple[object, list]] = {}
+    for view in views:
+        ng = view._network_graph
+        if ng is None or token in view._first_hops:
+            continue
+        entry = groups.get(id(ng))
+        if entry is None:
+            entry = (ng, [])
+            groups[id(ng)] = entry
+        entry[1].append(view)
+    if not groups:
+        return 0
+    from repro.localview.batched import batched_all_first_hops
+
+    primed = 0
+    for ng, group in groups.values():
+        batch = batched_all_first_hops(ng, group, metric)
+        if batch is None:
+            continue
+        for view in group:
+            view._first_hops[token] = batch[view.owner]
+            primed += 1
+    return primed
 
 
 # ---------------------------------------------------------------------- legacy networkx core

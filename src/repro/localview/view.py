@@ -52,6 +52,10 @@ class LocalView:
         self.graph = graph
         self._compact: Dict[object, CompactGraph] = {}
         self._forest: Dict[object, tuple] = {}
+        # Shared network-level CSR backing (set by attach_network_graph) and the
+        # per-metric-token first-hop results the batched kernels primed on it.
+        self._network_graph = None
+        self._first_hops: Dict[object, dict] = {}
         self._validate()
 
     # ------------------------------------------------------------------ construction
@@ -68,7 +72,7 @@ class LocalView:
         return cls._from_adjacency(network.graph.adj, owner, {})
 
     @classmethod
-    def all_from_network(cls, network) -> Dict[NodeId, "LocalView"]:
+    def all_from_network(cls, network, network_graph=None) -> Dict[NodeId, "LocalView"]:
         """Build every node's local view in one pass over the network's adjacency.
 
         Equivalent to ``{node: LocalView.from_network(network, node) for node in network}``
@@ -77,25 +81,41 @@ class LocalView:
         see the link (every view of a link's endpoint neighborhood would otherwise take its
         own copy).  The shared dictionaries are never mutated by the library; treat them as
         read-only.
+
+        ``network_graph`` (a :class:`~repro.localview.networkgraph.NetworkGraph` built from
+        the same network state) attaches every view to the shared CSR so the batched solver
+        kernels can window it; omitted, the views run the scalar per-view path unchanged.
         """
         adjacency = network.graph.adj
         shared: Dict[int, dict] = {}
-        return {
+        views = {
             owner: cls._from_adjacency(adjacency, owner, shared) for owner in network.nodes()
         }
+        if network_graph is not None:
+            for view in views.values():
+                view._network_graph = network_graph
+        return views
 
     @classmethod
     def from_adjacency(
-        cls, adjacency, owner: NodeId, shared: Optional[Dict[int, dict]] = None
+        cls,
+        adjacency,
+        owner: NodeId,
+        shared: Optional[Dict[int, dict]] = None,
+        network_graph=None,
     ) -> "LocalView":
         """Build one view from a networkx adjacency mapping, sharing attribute copies.
 
         The batch-rebuild hook of the dynamic-topology driver: pass the same ``shared``
         dictionary across several calls and each physical link's attribute dictionary is
         copied once and shared between the views built in the batch, exactly as
-        :meth:`all_from_network` does for a full-network build.
+        :meth:`all_from_network` does for a full-network build.  ``network_graph``
+        attaches the view to the shared CSR, as in :meth:`all_from_network`.
         """
-        return cls._from_adjacency(adjacency, owner, {} if shared is None else shared)
+        view = cls._from_adjacency(adjacency, owner, {} if shared is None else shared)
+        if network_graph is not None:
+            view._network_graph = network_graph
+        return view
 
     @classmethod
     def _from_adjacency(cls, adjacency, owner: NodeId, shared: Dict[int, dict]) -> "LocalView":
@@ -204,16 +224,37 @@ class LocalView:
             self._forest[token] = forest
         return forest
 
+    def network_graph(self):
+        """The shared :class:`NetworkGraph` this view windows, or None (scalar-only view)."""
+        return self._network_graph
+
+    def window(self):
+        """This view's :class:`GraphWindow` into the shared CSR (None when detached)."""
+        if self._network_graph is None:
+            return None
+        return self._network_graph.window(self.owner)
+
+    def attach_network_graph(self, network_graph) -> None:
+        """(Re-)attach the view to a shared CSR describing the same network state.
+
+        The caller vouches for consistency: the view's links and weights must equal the
+        graph's rows for the owner's two-hop window (true by construction for views the
+        batch constructors attached, and for the dynamic driver's re-attachment after it
+        routed the same change through both the view and the shared arrays).
+        """
+        self._network_graph = network_graph
+
     # ------------------------------------------------------------------ mutation
 
     def invalidate_caches(self) -> None:
-        """Drop every cached per-metric structure (compact graphs and bottleneck forests).
+        """Drop every cached per-metric structure (compact graphs, forests, first hops).
 
         Must be called after *any* mutation of ``self.graph`` or its edge attributes; the
         sanctioned mutation path :meth:`update_link` does so automatically.
         """
         self._compact.clear()
         self._forest.clear()
+        self._first_hops.clear()
 
     def update_link(self, u: NodeId, v: NodeId, **weights: float) -> None:
         """Update the attributes of a known link and drop the derived caches.
@@ -232,6 +273,11 @@ class LocalView:
         adjacency[u][v] = updated
         adjacency[v][u] = updated
         self.invalidate_caches()
+        # The private measurement diverged from the network the shared CSR snapshots, so
+        # exactly this view detaches from it (siblings keep batching); the dynamic
+        # driver re-attaches via attach_network_graph after patching the shared arrays
+        # with the same change.
+        self._network_graph = None
 
     def has_link(self, u: NodeId, v: NodeId) -> bool:
         """True when the owner knows about a link between ``u`` and ``v``."""

@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
+from repro.localview.networkgraph import NetworkGraph
 from repro.localview.view import LocalView
 from repro.metrics.assignment import Edge, WeightAssigner
 from repro.mobility.models import TrajectoryStepper, WorldState
@@ -107,6 +108,7 @@ class DynamicTopology:
         self.step_index = 0
         self._stepper = stepper
         self._views: Optional[Dict[NodeId, LocalView]] = None
+        self._network_graph: Optional[NetworkGraph] = None
         self._edges: Set[Edge] = set(network.links())
         self._static_links: Optional[List[Edge]] = None
         self._last_positions: Optional[object] = None
@@ -127,10 +129,25 @@ class DynamicTopology:
 
     # ------------------------------------------------------------------ views
 
+    def network_graph(self) -> NetworkGraph:
+        """The current step's shared network-level CSR (maintained across steps).
+
+        Built lazily alongside :meth:`views` and kept in lockstep with the live network:
+        structural steps rebuild it, weight-only steps patch its weight arrays in place
+        (:meth:`NetworkGraph.patch_weights`).  The maintained object is pinned
+        array-for-array identical to a fresh ``NetworkGraph.from_network`` of the current
+        network by ``tests/test_mobility.py``.
+        """
+        if self._network_graph is None:
+            self._network_graph = NetworkGraph.from_network(self.network)
+        return self._network_graph
+
     def views(self) -> Dict[NodeId, LocalView]:
         """Every node's local view of the *current* step (maintained incrementally)."""
         if self._views is None:
-            self._views = LocalView.all_from_network(self.network)
+            self._views = LocalView.all_from_network(
+                self.network, network_graph=self.network_graph()
+            )
         return self._views
 
     # ------------------------------------------------------------------ stepping
@@ -179,6 +196,18 @@ class DynamicTopology:
         dirty = set(affected)
         _absorb_link_neighborhoods(graph.adj, reweighted, dirty)
 
+        # Bring the shared CSR back in sync with the mutated network before any view
+        # touches it: structural changes invalidate the flat adjacency (rebuild, which
+        # bumps the generation and thereby every outstanding window), while weight-only
+        # steps patch the per-metric weight arrays in place (windows stay current --
+        # they read weights through the parent at solve time).
+        ng = self._network_graph
+        if ng is not None:
+            if added or removed:
+                ng.rebuild(self.network)
+            elif reweighted:
+                ng.patch_weights(self.network, reweighted)
+
         if self._views is not None:
             views = self._views
             if len(affected) * 2 >= len(views):
@@ -187,16 +216,22 @@ class DynamicTopology:
                 # The dict object stays the same -- views() hands out a live mapping and
                 # callers hold on to it across steps.
                 views.clear()
-                views.update(LocalView.all_from_network(self.network))
+                views.update(LocalView.all_from_network(self.network, network_graph=ng))
             else:
                 shared: Dict[int, dict] = {}
                 adjacency = graph.adj
                 for owner in affected:
-                    views[owner] = LocalView.from_adjacency(adjacency, owner, shared)
+                    views[owner] = LocalView.from_adjacency(
+                        adjacency, owner, shared, network_graph=ng
+                    )
                 for u, v in reweighted:
                     overrides = world.weight_overrides[(u, v)]
                     for owner in ({u, v} | set(graph.adj[u]) | set(graph.adj[v])) - affected:
                         views[owner].update_link(u, v, **overrides)
+                        # update_link detaches the view from the shared CSR (its caches
+                        # went stale); the CSR was patched above, so re-attach.
+                        if ng is not None:
+                            views[owner].attach_network_graph(ng)
 
         self._edges = target
         return StepDelta(
@@ -259,6 +294,7 @@ class DynamicTopology:
             network.add_link(*edge, **self._link_weights(edge, world))
         _absorb_link_neighborhoods(network.graph.adj, added + removed + reweighted, dirty)
         self._views = None
+        self._network_graph = None
         self._edges = target
         return StepDelta(
             step=self.step_index,

@@ -325,3 +325,113 @@ class TestSweepsUnchangedByCaching:
         reference_dict = reference.to_dict()
         reference_dict.pop("notes", None)
         assert json.dumps(fast_dict, sort_keys=True) == json.dumps(reference_dict, sort_keys=True)
+
+
+# --------------------------------------------------------------------------- degenerate
+# Adversarial degenerate topologies: the batched shared-CSR kernels and the scalar
+# solvers must agree (and neither may crash) on the network shapes that stress empty
+# arrays, empty windows, and tolerance-driven tie-breaking -- single-node networks,
+# zero-edge views, isolated owners, fully disconnected components, and duplicate link
+# weights.  Every registered selector runs on both paths on every metric family.
+
+
+def _degenerate_networks():
+    """Name → Network for each adversarial shape (weights on both metric attributes)."""
+    from repro.topology.network import Network
+
+    def weighted(links, isolated=(), positions=None):
+        network = Network.from_links(links, positions)
+        for node in isolated:
+            network.add_node(node)
+        return network
+
+    uniform = {"bandwidth": 3.0, "delay": 3.0}
+    shapes = {}
+
+    single = Network()
+    single.add_node(0, (0.0, 0.0))
+    shapes["single-node"] = single
+
+    # Zero-edge views everywhere: nodes exist, no links at all.
+    no_links = Network()
+    for node in range(4):
+        no_links.add_node(node, (float(node), 0.0))
+    shapes["no-links"] = no_links
+
+    # One connected triangle plus an isolated owner with an empty view.
+    shapes["isolated-owner"] = weighted(
+        {(0, 1): dict(uniform), (1, 2): dict(uniform), (0, 2): dict(uniform)},
+        isolated=(9,),
+    )
+
+    # Two components that never see each other (views are windows of a CSR holding both).
+    shapes["two-components"] = weighted(
+        {
+            (0, 1): {"bandwidth": 2.0, "delay": 1.0},
+            (1, 2): {"bandwidth": 5.0, "delay": 4.0},
+            (10, 11): {"bandwidth": 1.0, "delay": 2.0},
+            (11, 12): {"bandwidth": 3.0, "delay": 3.0},
+            (10, 12): {"bandwidth": 3.0, "delay": 3.0},
+        }
+    )
+
+    # Every link identical: every path value ties, so first-hop sets are maximal and
+    # selection leans entirely on the deterministic tie-breaking order.
+    shapes["all-duplicate-weights"] = weighted(
+        {
+            (u, v): dict(uniform)
+            for u, v in [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4), (2, 4), (0, 4)]
+        }
+    )
+
+    # A path graph whose two equal-weight branches meet again: duplicate weights along
+    # parallel routes, plus degree-1 endpoints (single-slot CSR rows).
+    shapes["parallel-ties"] = weighted(
+        {
+            (0, 1): {"bandwidth": 4.0, "delay": 2.0},
+            (0, 2): {"bandwidth": 4.0, "delay": 2.0},
+            (1, 3): {"bandwidth": 4.0, "delay": 2.0},
+            (2, 3): {"bandwidth": 4.0, "delay": 2.0},
+            (3, 5): {"bandwidth": 1.0, "delay": 7.0},
+        }
+    )
+    return shapes
+
+
+class TestDegenerateTopologiesScalarVsBatched:
+    @pytest.mark.parametrize("shape", sorted(_degenerate_networks()))
+    def test_every_selector_and_metric_agrees_on_both_paths(self, shape):
+        """Scalar per-view selection == batched shared-CSR selection on each degenerate
+        network, for every registered selector and every metric family."""
+        from repro.core.selection import available_selectors
+        from repro.localview.networkgraph import NetworkGraph
+
+        network = _degenerate_networks()[shape]
+        for metric in (BANDWIDTH, DELAY, COMPOSITE, ADDITIVE_COMPOSITE):
+            scalar_views = LocalView.all_from_network(network)
+            ng = NetworkGraph.from_network(network)
+            batched_views = LocalView.all_from_network(network, network_graph=ng)
+            for name in available_selectors():
+                selector = make_selector(name)
+                scalar = {
+                    node: selector.select(view, metric) for node, view in scalar_views.items()
+                }
+                batched = selector.select_all(network, metric, views=batched_views)
+                assert scalar == batched, (shape, metric.name, name)
+
+    @pytest.mark.parametrize("shape", sorted(_degenerate_networks()))
+    def test_first_hop_kernels_agree_on_degenerate_windows(self, shape):
+        """The batched kernels themselves (not just selection built on them) reproduce
+        the scalar first-hop sets on every degenerate window, including empty ones."""
+        from repro.localview.batched import batched_all_first_hops
+        from repro.localview.networkgraph import NetworkGraph
+
+        network = _degenerate_networks()[shape]
+        ng = NetworkGraph.from_network(network)
+        views = LocalView.all_from_network(network, network_graph=ng)
+        for metric in (BANDWIDTH, DELAY):
+            batch = batched_all_first_hops(ng, list(views.values()), metric)
+            assert batch is not None
+            for owner, view in views.items():
+                fresh = LocalView.from_network(network, owner)
+                assert batch[owner] == all_first_hops(fresh, metric), (shape, metric.name, owner)

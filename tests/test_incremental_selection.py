@@ -227,6 +227,35 @@ class TestCachedSelectionEqualsFromScratch:
             assert trial.step_selections("fnbp") == warm
         assert calls == []
 
+    def test_incremental_runs_batch_prime_only_the_owners_that_rerun(self, monkeypatch):
+        """select_all's shared-CSR priming covers exactly the views whose selector will
+        actually re-run: all owners on a from-scratch run, only dirty-or-new owners on
+        an incremental one (priming the rest would be pure waste -- their previous
+        SelectionResult is reused verbatim)."""
+        from repro.core import selection as selection_module
+        from repro.localview import paths as paths_module
+
+        metric = BandwidthMetric()
+        generator = _generator(RandomWaypointGenerator, dict(mobile_fraction=0.3), seed=4)
+        trial = _fresh_dynamic_trial(generator, _spec(), metric)
+        dynamic = trial.dynamic_topology()
+        primed_batches = []
+
+        def recording_prime(views, m):
+            views = list(views)
+            primed_batches.append({view.owner for view in views})
+            return paths_module.prime_first_hops(views, m)
+
+        monkeypatch.setattr(selection_module, "prime_first_hops", recording_prime)
+        trial.step_selections("fnbp")
+        assert primed_batches.pop() == set(dynamic.views())  # from-scratch: everyone
+        delta = dynamic.advance()
+        assert delta.dirty  # the step really invalidated someone
+        trial.step_selections("fnbp")
+        # RWP keeps the node set stable, so "re-runs" is exactly the dirty set.
+        assert primed_batches.pop() == set(delta.dirty)
+        assert primed_batches == []
+
     def test_select_all_rejects_previous_without_dirty(self):
         metric = BandwidthMetric()
         generator = _generator(RandomWaypointGenerator, {}, seed=0)

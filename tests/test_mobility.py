@@ -237,6 +237,43 @@ class TestIncrementalStepEqualsPerStepRegeneration:
         for owner, view in held.items():
             assert view.one_hop == frozenset(dynamic.network.neighbors(owner))
 
+    @pytest.mark.parametrize("model_name,cls,kwargs", ALL_MODELS)
+    def test_maintained_network_graph_equals_a_fresh_build_every_step(
+        self, model_name, cls, kwargs
+    ):
+        """The driver-maintained shared CSR (structural steps rebuild it, weight-only
+        steps patch its arrays in place) is array-for-array bit-identical to a
+        from-scratch ``NetworkGraph.from_network`` of the current network, every step."""
+        from repro.localview import NetworkGraph
+
+        generator = cls(
+            field=FIELD, node_count=35, seed=5, weight_assigners=_assigners(), **kwargs
+        )
+        dynamic = generator.dynamic()
+        metrics = (BandwidthMetric(), DelayMetric())
+        dynamic.views()  # materialize views + shared CSR so maintenance runs
+        maintained = dynamic.network_graph()
+        for metric in metrics:
+            maintained.edge_values(metric)  # materialize so patches have arrays to hit
+        for _ in range(5):
+            dynamic.advance()
+            assert dynamic.network_graph() is maintained  # identity is preserved
+            fresh = NetworkGraph.from_network(dynamic.network)
+            assert maintained.nodes == fresh.nodes
+            for name in ("indptr", "indices", "slot_edge", "edge_u", "edge_v"):
+                assert (getattr(maintained, name) == getattr(fresh, name)).all(), name
+            for metric in metrics:
+                assert (
+                    maintained.edge_values(metric) == fresh.edge_values(metric)
+                ).all(), metric.name
+                assert (
+                    maintained.slot_values(metric) == fresh.slot_values(metric)
+                ).all(), metric.name
+            # The views handed out after the step are attached to the maintained CSR
+            # (update_link detaches reweight-only viewers; the driver re-attaches them).
+            for owner, view in dynamic.views().items():
+                assert view.network_graph() is maintained, owner
+
     def test_churn_model_perturbs_weights_without_moving_nodes(self):
         generator = LinkChurnGenerator(
             field=FIELD,

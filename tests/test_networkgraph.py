@@ -1,0 +1,189 @@
+"""The shared network-level CSR: windowing invariants and batched-kernel bit-identity.
+
+Two families of pins.  First, :class:`NetworkGraph` windowing: a :class:`LocalView`
+attached to a shared graph slices it by *index* (rows and slots into the parent arrays),
+so in-place weight patches must be visible through existing windows, structural rebuilds
+must invalidate them, and the sanctioned per-view mutation (``update_link``) must detach
+exactly the touched view.  Second, the canonical-summation-order guarantee of the batched
+additive kernel: its distance labels are compared against the scalar Dijkstra's with
+exact ``==`` -- not ``approx`` -- on genuinely non-representable float weights, because
+both accumulate every path cost as the same left-to-right fold of single additions (the
+batched side never substitutes a reduction with a different association order).
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.localview import LocalView, NetworkGraph, all_first_hops, prime_first_hops
+from repro.localview.batched import batched_additive_labels, batched_all_first_hops
+from repro.localview.compactgraph import best_values
+from repro.metrics import BandwidthMetric, DelayMetric, LexicographicMetric
+from repro.topology import FieldSpec, FixedCountNetworkGenerator
+
+BANDWIDTH = BandwidthMetric()
+DELAY = DelayMetric()
+COMPOSITE = LexicographicMetric([DelayMetric(), BandwidthMetric()])
+
+
+def float_weighted_network(seed: int, node_count: int = 24):
+    """A seeded unit-disk network with *irrational-ish* float weights.
+
+    ``rng.uniform`` draws are almost never exactly representable sums of each other, so
+    any reassociation of a path's additions would move the accumulated cost by an ulp --
+    exactly what the exact-equality pins below are designed to catch.
+    """
+    network = FixedCountNetworkGenerator(
+        field=FieldSpec(width=320.0, height=320.0, radius=110.0),
+        node_count=node_count,
+        seed=seed,
+        restrict_to_largest_component=True,
+    ).generate()
+    rng = random.Random(seed * 6007 + 3)
+    for u, v in sorted(network.links()):
+        network.add_link(u, v, bandwidth=rng.uniform(0.5, 9.5), delay=rng.uniform(0.05, 7.5))
+    return network
+
+
+class TestWindowing:
+    def test_window_members_match_the_view_and_hold_indices_only(self):
+        network = float_weighted_network(0)
+        ng = NetworkGraph.from_network(network)
+        views = LocalView.all_from_network(network, network_graph=ng)
+        for owner, view in views.items():
+            window = view.window()
+            assert window is not None and window.is_current()
+            members = window.member_nodes()
+            assert members[0] == owner
+            assert members[1 : 1 + window.one_hop_count] == sorted(view.one_hop)
+            assert members[1 + window.one_hop_count :] == sorted(view.two_hop)
+            # Indices only: the arrays index into the parent, they carry no weights.
+            assert window.members.dtype == np.int64 and window.slots.dtype == np.int64
+            assert window.slots.size == 0 or window.slots.max() < ng.indices.size
+
+    def test_weight_patches_are_visible_through_existing_windows(self):
+        """patch_weights rewrites the shared arrays in place: windows cut before the
+        patch read the new values without being re-cut, and stay current."""
+        network = float_weighted_network(1)
+        ng = NetworkGraph.from_network(network)
+        u, v = sorted(network.links())[0]
+        owner = u
+        window = ng.window(owner)
+        slot_array_before = ng.slot_values(DELAY)
+        before = window.weights(DELAY).copy()
+        network.set_link_weight(u, v, DELAY.name, 123.456)
+        ng.patch_weights(network, [(u, v)])
+        assert window.is_current()  # weight patches do not invalidate windows
+        # Same array object, patched in place -- references held by kernels stay valid.
+        assert ng.slot_values(DELAY) is slot_array_before
+        after = window.weights(DELAY)
+        assert 123.456 in after.tolist()
+        assert not np.array_equal(before, after)
+
+    def test_rebuild_invalidates_every_outstanding_window(self):
+        network = float_weighted_network(2)
+        ng = NetworkGraph.from_network(network)
+        windows = [ng.window(node) for node in network.nodes()[:5]]
+        generation = ng.generation
+        ng.rebuild(network)
+        assert ng.generation == generation + 1
+        assert all(not w.is_current() for w in windows)
+        assert ng.window(network.nodes()[0]).is_current()
+
+    def test_snapshot_isolation_from_later_network_mutations(self):
+        """The build snapshots attribute dicts: mutating the source network afterwards
+        must not leak into already-extracted weight arrays until patch_weights."""
+        network = float_weighted_network(3)
+        ng = NetworkGraph.from_network(network)
+        values = ng.edge_values(DELAY).copy()
+        u, v = sorted(network.links())[0]
+        network.set_link_weight(u, v, DELAY.name, 999.0)
+        assert np.array_equal(ng.edge_values(DELAY), values)  # unchanged until patched
+        ng.patch_weights(network, [(u, v)])
+        assert not np.array_equal(ng.edge_values(DELAY), values)
+
+    def test_update_link_detaches_exactly_the_touched_view(self):
+        network = float_weighted_network(4)
+        ng = NetworkGraph.from_network(network)
+        views = LocalView.all_from_network(network, network_graph=ng)
+        u, v = sorted(network.links())[0]
+        views[u].update_link(u, v, delay=3.25)
+        assert views[u].network_graph() is None and views[u].window() is None
+        for owner, view in views.items():
+            if owner != u:
+                assert view.network_graph() is ng, owner
+
+    def test_composite_metrics_are_never_materialized(self):
+        network = float_weighted_network(5)
+        ng = NetworkGraph.from_network(network)
+        assert ng.edge_values(COMPOSITE) is None
+        assert ng.slot_values(COMPOSITE) is None
+        assert ng.sorted_edges(COMPOSITE) is None
+        views = LocalView.all_from_network(network, network_graph=ng)
+        assert batched_all_first_hops(ng, list(views.values()), COMPOSITE) is None
+
+
+class TestPriming:
+    def test_primed_views_answer_auto_solves_from_the_batch(self):
+        network = float_weighted_network(6)
+        ng = NetworkGraph.from_network(network)
+        views = LocalView.all_from_network(network, network_graph=ng)
+        primed = prime_first_hops(views.values(), DELAY)
+        assert primed == len(views)
+        view = views[network.nodes()[0]]
+        cached = view._first_hops[DELAY.cache_token()]
+        assert all_first_hops(view, DELAY) is cached  # auto dispatch serves the batch
+        # Explicit-method calls bypass the cache (method comparisons stay honest).
+        assert all_first_hops(view, DELAY, method="owner-dijkstra") is not cached
+
+    def test_priming_is_idempotent_and_skips_detached_views(self):
+        network = float_weighted_network(7)
+        ng = NetworkGraph.from_network(network)
+        views = LocalView.all_from_network(network, network_graph=ng)
+        u, v = sorted(network.links())[0]
+        views[u].update_link(u, v, delay=1.125)  # detached: must be skipped, not crash
+        assert prime_first_hops(views.values(), BANDWIDTH) == len(views) - 1
+        assert prime_first_hops(views.values(), BANDWIDTH) == 0  # already primed
+
+    def test_scalar_solves_never_populate_the_prime_cache(self):
+        network = float_weighted_network(8)
+        ng = NetworkGraph.from_network(network)
+        views = LocalView.all_from_network(network, network_graph=ng)
+        view = views[network.nodes()[0]]
+        all_first_hops(view, DELAY)
+        assert DELAY.cache_token() not in view._first_hops
+
+
+class TestCanonicalSummationOrder:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_batched_additive_labels_equal_scalar_dijkstra_exactly(self, seed):
+        """Exact ``==`` on every label, no tolerance: the batched kernel must reproduce
+        the scalar solver's float path costs bit-for-bit (same per-edge fold of single
+        additions, candidates combined only through exact min)."""
+        network = float_weighted_network(seed)
+        ng = NetworkGraph.from_network(network)
+        owners = network.nodes()
+        labels = batched_additive_labels(ng, owners, DELAY)
+        assert labels is not None
+        for owner in owners:
+            view = LocalView.from_network(network, owner)
+            cg = view.compact_graph(DELAY)
+            scalar = {
+                cg.nodes[i]: value
+                for i, value in best_values(cg, cg.index[owner], DELAY).items()
+            }
+            assert labels[owner] == scalar, owner  # exact, not approx
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_batched_first_hops_equal_scalar_on_float_weights(self, seed):
+        network = float_weighted_network(seed)
+        ng = NetworkGraph.from_network(network)
+        views = LocalView.all_from_network(network, network_graph=ng)
+        for metric in (BANDWIDTH, DELAY):
+            batch = batched_all_first_hops(ng, list(views.values()), metric)
+            for owner in views:
+                fresh = LocalView.from_network(network, owner)
+                assert batch[owner] == all_first_hops(fresh, metric), (owner, metric.name)
