@@ -41,7 +41,8 @@ from repro.localview.paths import (  # noqa: E402
     _first_hops_to_nx,
 )
 from repro.metrics import BandwidthMetric, DelayMetric, UniformWeightAssigner  # noqa: E402
-from repro.mobility.models import RandomWaypointGenerator  # noqa: E402
+from repro.mobility.models import LinkChurnGenerator, RandomWaypointGenerator  # noqa: E402
+from repro.protocol import LossModel, ProtocolSimulator  # noqa: E402
 from repro.routing.advertised import (  # noqa: E402
     AdvertisedTopologyBuilder,
     build_advertised_topology,
@@ -449,6 +450,75 @@ def record_engine_dispatch(rounds: int) -> dict:
     }
 
 
+def record_protocol_sim(rounds: int) -> dict:
+    """Event-driven protocol simulation throughput vs the analytic step pipeline.
+
+    One timed round runs a :class:`ProtocolSimulator` (fnbp agents, 10% loss) over a
+    churn network through its warmup plus ``steps`` step windows -- the workload of one
+    protocol-measure trial, single selector.  The analytic baseline routes the same
+    dynamic topology through the ``SelectionCache`` step path (what the mobility
+    measures compute per step).  The protocol path is expected to cost *more* -- it
+    simulates every HELLO/TC transmission -- so the recorded ratio is the price of
+    protocol truth, and ``events_per_s`` is the event-queue throughput the price buys.
+    """
+    metric = BandwidthMetric()
+    steps = 4
+    hello_interval = tc_interval = 1.0
+    warmup = 4.0 * max(hello_interval, tc_interval)
+    generator = LinkChurnGenerator(
+        field=FieldSpec(width=420.0, height=420.0, radius=100.0),
+        node_count=60,
+        seed=13,
+        weight_assigners=(UniformWeightAssigner(metric=metric, low=1.0, high=10.0, seed=31),),
+    )
+
+    last_events = {"count": 0}
+
+    def run_protocol() -> None:
+        dynamic = generator.dynamic()
+        sim = ProtocolSimulator(
+            dynamic.network,
+            metric,
+            selector_name="fnbp",
+            seed=7,
+            hello_interval=hello_interval,
+            tc_interval=tc_interval,
+            loss_model=LossModel(seed=3, loss_rate=0.1),
+        )
+        sim.attach(dynamic)
+        sim.run_until(warmup)
+        for step in range(1, steps + 1):
+            dynamic.advance()
+            sim.run_until(warmup + step * hello_interval)
+        last_events["count"] = sim.simulator.processed_events
+
+    def run_analytic() -> None:
+        dynamic = generator.dynamic()
+        cache = SelectionCache()
+        dynamic.add_step_listener(cache.on_step)
+        cache.select_all("fnbp", metric, dynamic.views(), network=dynamic.network)
+        for _ in range(steps):
+            dynamic.advance()
+            cache.select_all("fnbp", metric, dynamic.views(), network=dynamic.network)
+
+    protocol_timing = time_case(run_protocol, rounds)
+    analytic_timing = time_case(run_analytic, rounds)
+    probe = generator.dynamic()
+    events = last_events["count"]
+    return {
+        "network": {"nodes": len(probe.network), "links": probe.network.number_of_links()},
+        "selector": "fnbp",
+        "loss_rate": 0.1,
+        "steps_per_round": steps,
+        "events_per_round": events,
+        "protocol": protocol_timing,
+        "analytic": analytic_timing,
+        "events_per_s": events / protocol_timing["min_s"],
+        "protocol_step_cost_s": protocol_timing["min_s"] / steps,
+        "protocol_vs_analytic": protocol_timing["min_s"] / analytic_timing["min_s"],
+    }
+
+
 def record(rounds: int) -> dict:
     view = dense_view()
     targets = len(view.known_targets())
@@ -480,6 +550,7 @@ def record(rounds: int) -> dict:
         "mobility": record_mobility(max(3, rounds // 8)),
         "incremental_selection": record_incremental_selection(max(3, rounds // 8)),
         "csr_kernels": record_csr_kernels(max(3, rounds // 8)),
+        "protocol_sim": record_protocol_sim(max(3, rounds // 8)),
     }
 
 
@@ -540,6 +611,12 @@ def main(argv=None) -> int:
             f"batched {kernels['batched_csr']['min_s'] * 1e3:.3f} ms  "
             f"({kernels['batched_speedup']:.2f}x)"
         )
+    protocol = payload["protocol_sim"]
+    print(
+        f"protocol sim: {protocol['events_per_s']:.0f} events/s  "
+        f"step {protocol['protocol_step_cost_s'] * 1e3:.3f} ms  "
+        f"({protocol['protocol_vs_analytic']:.1f}x the analytic step)"
+    )
     print(f"wrote {args.output}")
     return 0
 

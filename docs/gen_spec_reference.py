@@ -39,7 +39,9 @@ SEMANTICS = {
     "measure": (
         "What each trial measures and how trials aggregate — a `MEASURES` registry name. "
         "Static built-ins: `ans-size`, `overhead`; time-axis built-ins: `ans-churn`, "
-        "`tc-overhead`, `route-stability` (these require `timesteps >= 1`)."
+        "`tc-overhead`, `route-stability`, plus the protocol-simulator measures "
+        "`convergence-time`, `advertised-staleness`, `route-flaps` (all time-axis "
+        "measures require `timesteps >= 1`)."
     ),
     "metric": (
         "QoS metric of the sweep — a `METRICS` registry name. The metric's name is also "
@@ -85,6 +87,22 @@ SEMANTICS = {
     "step_interval": (
         "Simulated time units per timestep (mobility displacement per step scales with "
         "it). Must be `> 0`; only meaningful with `timesteps >= 1`."
+    ),
+    "loss_rate": (
+        "Per-transmission control-packet loss probability of the protocol simulator's "
+        "lossy channel (`0 <= loss_rate < 1`). Only the protocol measures "
+        "(`convergence-time`, `advertised-staleness`, `route-flaps`) consume it; "
+        "analytic measures ignore it."
+    ),
+    "hello_interval": (
+        "HELLO emission period of the protocol simulator, in simulated time units. "
+        "Neighbor entries live three periods (RFC 3626 shape). Must be `> 0`; only the "
+        "protocol measures consume it."
+    ),
+    "tc_interval": (
+        "TC emission period of the protocol simulator, in simulated time units. "
+        "Topology entries live three periods (RFC 3626 shape). Must be `> 0`; only the "
+        "protocol measures consume it."
     ),
 }
 
@@ -139,8 +157,12 @@ def generate() -> str:
 
     example_static = (REPO_ROOT / "examples/specs/custom_delay_sweep.json").read_text().strip()
     example_dynamic = (REPO_ROOT / "examples/specs/mobility_churn_sweep.json").read_text().strip()
+    example_protocol = (
+        REPO_ROOT / "examples/specs/protocol_convergence_sweep.json"
+    ).read_text().strip()
     ExperimentSpec.from_json(example_static)  # the page may not show a spec the code rejects
     ExperimentSpec.from_json(example_dynamic)
+    ExperimentSpec.from_json(example_protocol)
 
     spec_registries = ("measures", "metrics", "selectors", "topology-models")
     registry_lines = "\n".join(
@@ -205,7 +227,20 @@ A dynamic sweep sets `timesteps >= 1`, a dynamic `topology` model and a time-axi
 {example_dynamic}
 ```
 
-Both examples are loaded through `ExperimentSpec.from_json` at generation time, so this
+## Example: a protocol-simulator sweep
+
+The protocol measures (`convergence-time`, `advertised-staleness`, `route-flaps`) run an
+event-driven OLSR simulator per trial — real jittered HELLO/TC traffic over a seeded
+lossy channel — and consume `loss_rate`, `hello_interval` and `tc_interval`. The
+committed
+[protocol_convergence_sweep.json](../examples/specs/protocol_convergence_sweep.json)
+(CI smoke-runs it; see [Protocol simulator](protocol.md)):
+
+```json
+{example_protocol}
+```
+
+All examples are loaded through `ExperimentSpec.from_json` at generation time, so this
 page cannot show a spec the code would reject. See
 [Extending the harness](extending.md) for registering new names, and
 [Caches & invalidation](caches.md) for what the engine reuses while executing a spec.

@@ -60,6 +60,12 @@ class SweepConfig:
         least 1 and a dynamic topology model -- see :mod:`repro.mobility`).
     step_interval:
         Simulated time units per timestep (the ``dt`` handed to the mobility model).
+    loss_rate:
+        Per-transmission loss probability of the protocol simulator's control channel
+        (``[0, 1)``; only the protocol measures read it -- see :mod:`repro.protocol`).
+    hello_interval / tc_interval:
+        HELLO and TC emission periods of the protocol simulator, in simulated time units
+        (RFC 3626 defaults; table-entry lifetimes scale with them).
     """
 
     densities: Tuple[float, ...] = BANDWIDTH_DENSITIES
@@ -74,6 +80,9 @@ class SweepConfig:
     topology: str = "poisson"
     timesteps: int = 0
     step_interval: float = 1.0
+    loss_rate: float = 0.0
+    hello_interval: float = 2.0
+    tc_interval: float = 5.0
 
     def __post_init__(self) -> None:
         if not self.densities:
@@ -92,6 +101,10 @@ class SweepConfig:
         if self.timesteps < 0:
             raise ValueError(f"timesteps must be non-negative, got {self.timesteps}")
         require_positive(self.step_interval, "step_interval")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {self.loss_rate}")
+        require_positive(self.hello_interval, "hello_interval")
+        require_positive(self.tc_interval, "tc_interval")
 
     def with_overrides(self, **overrides) -> "SweepConfig":
         """A copy of the configuration with the given fields replaced."""

@@ -34,7 +34,10 @@ area)::
       "weight_high": 10.0,
       "seed": 42,
       "timesteps": 0,                    // > 0 = dynamic sweep (mobility measures)
-      "step_interval": 1.0               // simulated time units per timestep
+      "step_interval": 1.0,              // simulated time units per timestep
+      "loss_rate": 0.0,                  // control-channel loss (protocol measures)
+      "hello_interval": 2.0,             // simulated HELLO period (protocol measures)
+      "tc_interval": 5.0                 // simulated TC period (protocol measures)
     }
 
 Dynamic sweeps (the mobility subsystem, :mod:`repro.mobility`) set ``timesteps`` to the
@@ -42,6 +45,10 @@ number of steps each trial's topology is advanced through, ``step_interval`` to 
 simulated time per step, a dynamic ``topology`` model (``rwp``, ``gauss-markov``,
 ``churn``) and a time-axis ``measure`` (``ans-churn``, ``tc-overhead``,
 ``route-stability``); ``examples/specs/mobility_churn_sweep.json`` is a committed example.
+The protocol measures (``convergence-time``, ``advertised-staleness``, ``route-flaps``;
+:mod:`repro.protocol.measures`) are dynamic sweeps that additionally read ``loss_rate``,
+``hello_interval`` and ``tc_interval``; ``examples/specs/protocol_convergence_sweep.json``
+is a committed example.
 """
 
 from __future__ import annotations
@@ -82,6 +89,9 @@ class ExperimentSpec:
     seed: int = 42
     timesteps: int = 0
     step_interval: float = 1.0
+    loss_rate: float = 0.0
+    hello_interval: float = 2.0
+    tc_interval: float = 5.0
 
     def __post_init__(self) -> None:
         if not self.experiment_id:
@@ -126,6 +136,9 @@ class ExperimentSpec:
             topology=self.topology,
             timesteps=self.timesteps,
             step_interval=self.step_interval,
+            loss_rate=self.loss_rate,
+            hello_interval=self.hello_interval,
+            tc_interval=self.tc_interval,
         )
 
     @classmethod
@@ -156,6 +169,9 @@ class ExperimentSpec:
             seed=config.seed,
             timesteps=config.timesteps,
             step_interval=config.step_interval,
+            loss_rate=config.loss_rate,
+            hello_interval=config.hello_interval,
+            tc_interval=config.tc_interval,
         )
 
     def with_sweep_config(self, config: SweepConfig) -> "ExperimentSpec":
@@ -178,6 +194,9 @@ class ExperimentSpec:
             seed=config.seed,
             timesteps=config.timesteps,
             step_interval=config.step_interval,
+            loss_rate=config.loss_rate,
+            hello_interval=config.hello_interval,
+            tc_interval=config.tc_interval,
         )
 
     def with_overrides(self, **overrides) -> "ExperimentSpec":
@@ -209,6 +228,9 @@ class ExperimentSpec:
             "seed": self.seed,
             "timesteps": self.timesteps,
             "step_interval": self.step_interval,
+            "loss_rate": self.loss_rate,
+            "hello_interval": self.hello_interval,
+            "tc_interval": self.tc_interval,
         }
 
     @classmethod

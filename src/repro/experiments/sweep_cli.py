@@ -127,6 +127,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="simulated time units per timestep (dynamic sweeps)",
     )
+    overrides.add_argument(
+        "--loss-rate",
+        dest="loss_rate",
+        type=float,
+        default=None,
+        help="control-channel loss probability in [0, 1) (protocol measures)",
+    )
+    overrides.add_argument(
+        "--hello-interval",
+        dest="hello_interval",
+        type=float,
+        default=None,
+        help="simulated HELLO period in time units (protocol measures)",
+    )
+    overrides.add_argument(
+        "--tc-interval",
+        dest="tc_interval",
+        type=float,
+        default=None,
+        help="simulated TC period in time units (protocol measures)",
+    )
 
     outputs = parser.add_argument_group("outputs (result sinks)")
     outputs.add_argument("--output", default=None, help="write the text report to this file")
@@ -220,6 +241,9 @@ def _apply_overrides(spec: ExperimentSpec, args: argparse.Namespace) -> Experime
         ("seed", args.seed),
         ("timesteps", args.timesteps),
         ("step_interval", args.step_interval),
+        ("loss_rate", args.loss_rate),
+        ("hello_interval", args.hello_interval),
+        ("tc_interval", args.tc_interval),
     ):
         if value is not None:
             overrides[spec_field] = value

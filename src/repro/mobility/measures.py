@@ -218,6 +218,11 @@ class _TimeSeriesMeasure(Measure):
         ]
 
 
+#: Public name of the per-step series aggregation base: the protocol measures
+#: (:mod:`repro.protocol.measures`) ride the same pooled-summary + per-step-mean pipeline.
+TimeSeriesMeasure = _TimeSeriesMeasure
+
+
 @MEASURES.register(
     "ans-churn", description="advertised links appearing/disappearing per step (dynamic sweeps)"
 )

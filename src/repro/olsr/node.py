@@ -65,9 +65,13 @@ class OlsrNode:
         metric: Metric,
         selector: Optional[AnsSelector] = None,
         link_weights: Optional[Mapping[NodeId, Mapping[str, float]]] = None,
+        neighbor_hold_time: float = constants.NEIGHBOR_HOLD_TIME,
+        topology_hold_time: float = constants.TOPOLOGY_HOLD_TIME,
     ) -> None:
         self.node_id = node_id
         self.metric = metric
+        self.neighbor_hold_time = neighbor_hold_time
+        self.topology_hold_time = topology_hold_time
         self.selector = selector if selector is not None else FnbpSelector()
         self.neighbor_table = NeighborTable(node_id)
         self.topology_table = TopologyTable(node_id)
@@ -173,7 +177,7 @@ class OlsrNode:
             hello,
             link_weights=weights,
             now=now,
-            hold_time=constants.NEIGHBOR_HOLD_TIME,
+            hold_time=self.neighbor_hold_time,
         )
 
     def _handle_tc(self, packet: Packet, now: float) -> List[Packet]:
@@ -184,7 +188,7 @@ class OlsrNode:
             self.duplicates.mark_processed(
                 tc.originator, tc.sequence_number, now + constants.DUPLICATE_HOLD_TIME
             )
-            self.topology_table.update_from_tc(tc, now=now, hold_time=constants.TOPOLOGY_HOLD_TIME)
+            self.topology_table.update_from_tc(tc, now=now, hold_time=self.topology_hold_time)
 
         # MPR flooding rule: retransmit only messages first heard from a neighbor that
         # selected this node as MPR, at most once, while TTL remains.

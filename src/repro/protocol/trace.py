@@ -1,15 +1,19 @@
-"""Event tracing for protocol simulations.
+"""Event tracing for protocol simulations (the one tracing path of the repo).
 
-The trace records what happened and when (message emissions, deliveries, data-packet hops)
-so that tests and examples can inspect protocol behaviour -- e.g. reconstruct the path a data
-packet actually took, or count the control overhead generated per protocol variant.
+The trace records what happened and when (message emissions, triggered TCs, topology
+steps, data-packet hops) so that tests and examples can inspect protocol behaviour --
+e.g. reconstruct the path a data packet actually took, count the control overhead
+generated per protocol variant, or check that a churn step triggered a TC.  Both the
+static end-to-end scenario (:class:`repro.sim.scenario.OlsrSimulation`) and the
+event-driven :class:`~repro.protocol.simulator.ProtocolSimulator` record into the same
+structure.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.utils.ids import NodeId
 

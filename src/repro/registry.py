@@ -205,6 +205,7 @@ def _load_builtin_topology_models() -> None:
 def _load_builtin_measures() -> None:
     import repro.experiments.measures  # noqa: F401
     import repro.mobility.measures  # noqa: F401
+    import repro.protocol.measures  # noqa: F401
 
 
 @SINKS.on_populate

@@ -3,7 +3,10 @@
 from repro.sim.engine import EventHandle, Simulator
 from repro.sim.radio import IdealRadio, RadioStatistics
 from repro.sim.scenario import DeliveryReport, OlsrSimulation
-from repro.sim.trace import EventTrace, TraceEvent
+
+# Event tracing moved to the protocol subsystem (one tracing path for both the static
+# scenario and the event-driven simulator); re-exported here for compatibility.
+from repro.protocol.trace import EventTrace, TraceEvent
 
 __all__ = [
     "Simulator",

@@ -25,7 +25,7 @@ from repro.olsr.messages import DataPacket, Packet, TcMessage
 from repro.olsr.node import OlsrNode
 from repro.sim.engine import Simulator
 from repro.sim.radio import IdealRadio
-from repro.sim.trace import EventTrace
+from repro.protocol.trace import EventTrace
 from repro.topology.network import Network
 from repro.utils.ids import NodeId
 from repro.utils.seeding import spawn_rng
