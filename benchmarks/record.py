@@ -450,6 +450,54 @@ def record_engine_dispatch(rounds: int) -> dict:
     }
 
 
+def record_telemetry(rounds: int) -> dict:
+    """Telemetry overhead on the engine-dispatch sweep: metrics off vs on vs direct.
+
+    One timed round is the same complete single-density sweep ``engine_dispatch`` times.
+    ``metrics_off`` is the default engine path (ambient no-op telemetry helpers only),
+    ``metrics_on`` runs the full registry pipeline -- per-trial registries, snapshot
+    merging, ``on_metrics`` emission -- and ``direct`` is the legacy harness baseline.
+    All three paths are asserted result-identical before timing (telemetry observes, it
+    never perturbs).  The throughput ratios are floor-guarded in CI by
+    ``test_bench_metrics_overhead.py``: metrics off must retain >=0.98x of the direct
+    path's speed, metrics on >=0.90x.
+    """
+    config = SweepConfig(
+        densities=(8.0,),
+        runs=1,
+        pairs_per_run=2,
+        node_sample=20,
+        field=FieldSpec(width=400.0, height=400.0, radius=100.0),
+        seed=42,
+    )
+    metric = BandwidthMetric()
+    spec = ExperimentSpec.from_config(
+        config,
+        experiment_id="bench",
+        title="Size of the advertised set",
+        measure="ans-size",
+        metric="bandwidth",
+    )
+    direct_result = _legacy_ans_size_sweep(config, metric)
+    off_result = run_experiment(spec, metrics=False)
+    on_result = run_experiment(spec, metrics=True)
+    if not (direct_result.to_dict() == off_result.to_dict() == on_result.to_dict()):
+        raise AssertionError("telemetry perturbed the sweep results")
+
+    direct_timing = time_case(lambda: _legacy_ans_size_sweep(config, metric), rounds)
+    off_timing = time_case(lambda: run_experiment(spec, metrics=False), rounds)
+    on_timing = time_case(lambda: run_experiment(spec, metrics=True), rounds)
+    return {
+        "config": {"densities": list(config.densities), "runs": config.runs, "node_sample": config.node_sample},
+        "direct": direct_timing,
+        "metrics_off": off_timing,
+        "metrics_on": on_timing,
+        "off_throughput_vs_direct": direct_timing["min_s"] / off_timing["min_s"],
+        "on_throughput_vs_direct": direct_timing["min_s"] / on_timing["min_s"],
+        "on_overhead_ratio": on_timing["min_s"] / off_timing["min_s"],
+    }
+
+
 def record_protocol_sim(rounds: int) -> dict:
     """Event-driven protocol simulation throughput vs the analytic step pipeline.
 
@@ -547,6 +595,7 @@ def record(rounds: int) -> dict:
         "forest_cache": record_forest_cache(view, rounds),
         "advertised_topology": record_advertised_topology(max(5, rounds // 4)),
         "engine_dispatch": record_engine_dispatch(max(5, rounds // 4)),
+        "telemetry": record_telemetry(max(5, rounds // 4)),
         "mobility": record_mobility(max(3, rounds // 8)),
         "incremental_selection": record_incremental_selection(max(3, rounds // 8)),
         "csr_kernels": record_csr_kernels(max(3, rounds // 8)),
@@ -587,6 +636,13 @@ def main(argv=None) -> int:
         f"engine dispatch: spec engine {dispatch['spec_engine']['min_s'] * 1e3:.3f} ms  "
         f"direct {dispatch['direct']['min_s'] * 1e3:.3f} ms  "
         f"(overhead {dispatch['dispatch_overhead_ratio']:.3f}x)"
+    )
+    telemetry = payload["telemetry"]
+    print(
+        f"telemetry: direct {telemetry['direct']['min_s'] * 1e3:.3f} ms  "
+        f"off {telemetry['metrics_off']['min_s'] * 1e3:.3f} ms  "
+        f"on {telemetry['metrics_on']['min_s'] * 1e3:.3f} ms  "
+        f"(on/off {telemetry['on_overhead_ratio']:.3f}x)"
     )
     for regime in ("clustered", "full"):
         mobility = payload["mobility"][regime]

@@ -16,6 +16,7 @@ from typing import Callable, Dict, FrozenSet, Iterable, Optional, Set, Tuple
 from repro.localview.paths import prime_first_hops
 from repro.localview.view import LocalView
 from repro.metrics.base import Metric
+from repro.obs import runtime as obs
 from repro.registry import SELECTORS
 from repro.utils.ids import NodeId
 
@@ -124,29 +125,39 @@ class AnsSelector(ABC):
         if views is None:
             views = LocalView.all_from_network(network)
         if previous is None:
-            if self.batches_first_hops:
-                prime_first_hops(views.values(), metric)
-            return {node: self.select(view, metric) for node, view in views.items()}
+            with obs.span("selection"):
+                if self.batches_first_hops:
+                    prime_first_hops(views.values(), metric)
+                results = {node: self.select(view, metric) for node, view in views.items()}
+            obs.add("selection.full_runs")
+            obs.add("selection.owners_selected", len(results))
+            return results
         if not isinstance(dirty, (set, frozenset)):
             dirty = set(dirty)
-        # Batch only the owners that will actually re-run: everyone else's result is
-        # reused verbatim below, so priming them would be pure waste.
-        if self.batches_first_hops:
-            prime_first_hops(
-                (
-                    view
-                    for node, view in views.items()
-                    if previous.get(node) is None or node in dirty
-                ),
-                metric,
-            )
-        results: Dict[NodeId, SelectionResult] = {}
-        for node, view in views.items():
-            cached = previous.get(node)
-            if cached is not None and node not in dirty:
-                results[node] = cached
-            else:
-                results[node] = self.select(view, metric)
+        with obs.span("selection"):
+            # Batch only the owners that will actually re-run: everyone else's result is
+            # reused verbatim below, so priming them would be pure waste.
+            if self.batches_first_hops:
+                prime_first_hops(
+                    (
+                        view
+                        for node, view in views.items()
+                        if previous.get(node) is None or node in dirty
+                    ),
+                    metric,
+                )
+            results: Dict[NodeId, SelectionResult] = {}
+            reused = 0
+            for node, view in views.items():
+                cached = previous.get(node)
+                if cached is not None and node not in dirty:
+                    results[node] = cached
+                    reused += 1
+                else:
+                    results[node] = self.select(view, metric)
+        obs.add("selection.incremental_runs")
+        obs.add("selection.cache_hits", reused)
+        obs.add("selection.owners_selected", len(results) - reused)
         return results
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -207,8 +218,10 @@ class SelectionCache:
         selector = make_selector(selector_name)
         previous = self._results.get(key)
         if previous is None:
+            obs.add("selection.cache_cold_keys")
             results = selector.select_all(network, metric, views=views)
         else:
+            obs.observe("selection.dirty_owners", len(self._dirty[key]))
             results = selector.select_all(
                 network, metric, views=views, previous=previous, dirty=self._dirty[key]
             )

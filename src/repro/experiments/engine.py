@@ -40,6 +40,8 @@ from repro.experiments.runner import TrialFailure, map_trials
 from repro.experiments.sinks import ProgressSink, ResultSink
 from repro.experiments.spec import ExperimentSpec
 from repro.metrics.base import Metric
+from repro.obs import runtime as obs
+from repro.obs.registry import MetricsRegistry, merge_trial, unwrap_payload
 from repro.registry import MEASURES, METRICS
 
 
@@ -58,17 +60,18 @@ class _SinkCrew:
         self._spec = spec
 
     def emit(self, handler: str, *args) -> None:
-        for sink in list(self._sinks):
-            try:
-                getattr(sink, handler)(*args)
-            except Exception as exc:  # noqa: BLE001 - quarantine any broken sink
-                self._sinks.remove(sink)
-                message = (
-                    f"sink {type(sink).__name__} raised {type(exc).__name__} ({exc}) in "
-                    f"{handler} and was quarantined; the sweep continues without it"
-                )
-                warnings.warn(message, RuntimeWarning, stacklevel=2)
-                self.emit("on_warning", self._spec, message)
+        with obs.span("sink_flush"):
+            for sink in list(self._sinks):
+                try:
+                    getattr(sink, handler)(*args)
+                except Exception as exc:  # noqa: BLE001 - quarantine any broken sink
+                    self._sinks.remove(sink)
+                    message = (
+                        f"sink {type(sink).__name__} raised {type(exc).__name__} ({exc}) in "
+                        f"{handler} and was quarantined; the sweep continues without it"
+                    )
+                    warnings.warn(message, RuntimeWarning, stacklevel=2)
+                    self.emit("on_warning", self._spec, message)
 
 
 def _resolve_checkpoint(
@@ -96,6 +99,7 @@ def run_experiment(
     progress: Optional[callable] = None,
     resume_from: Union[Checkpoint, str, Path, None] = None,
     on_error: str = "fail",
+    metrics: Optional[bool] = None,
 ) -> ExperimentResult:
     """Run the sweep described by ``spec`` and return its :class:`ExperimentResult`.
 
@@ -116,6 +120,15 @@ def run_experiment(
     :class:`~repro.experiments.runner.TrialExecutionError`, ``"skip"`` records an
     ``on_trial_error`` event plus a per-point ``extra["failed_trials"]`` count and lets
     the sweep complete.
+
+    ``metrics`` (default: the ``REPRO_METRICS`` environment variable, i.e. off) enables
+    the telemetry layer: trials run under per-trial
+    :class:`~repro.obs.registry.MetricsRegistry` instances whose snapshots are merged --
+    in run order, hence bit-identically serial vs parallel -- into a run registry, and
+    cumulative snapshots are emitted as ``on_metrics`` sink events (one after every
+    ``on_density``, one final run-total with ``density=None`` before ``on_result``).
+    With telemetry off the engine, its events and every output are byte-identical to the
+    un-instrumented engine; see ``docs/observability.md`` for the taxonomy and contract.
     """
     spec.validate_names(require_metric=metric is None)
     measure = MEASURES.create(spec.measure)
@@ -123,6 +136,8 @@ def run_experiment(
     if metric is None:
         metric = METRICS.create(spec.metric)
     checkpoint = _resolve_checkpoint(resume_from, spec)
+    metrics = obs.resolve_metrics(metrics)
+    registry = MetricsRegistry() if metrics else None
     sinks = list(sinks)
     if progress is not None:
         sinks.append(ProgressSink(progress))
@@ -137,69 +152,95 @@ def run_experiment(
         y_label=measure.y_label(metric),
     )
 
-    crew.emit("on_sweep_start", spec)
+    # With telemetry on, the run registry is installed as the parent process's ambient
+    # registry for the whole sweep, so parent-side instrumentation (supervisor retries,
+    # sink-flush spans) records alongside the merged per-trial snapshots.  Restored in
+    # the finally even when a sweep aborts, so no registry leaks across runs.
+    previous_registry = obs.install(registry) if registry is not None else None
+    try:
+        crew.emit("on_sweep_start", spec)
 
-    state = measure.start(spec)
-    per_trial = measure.per_trial()
-    per_density: Dict[float, Dict[str, SeriesPoint]] = {}
-    for density in spec.densities:
-        finished = checkpoint.densities.get(density) if checkpoint is not None else None
-        if finished is not None:
-            # Replay the finished density from the checkpoint: same trial events (the
-            # progress message is re-derived from the recorded payload), same points, no
-            # recomputation.  Payloads are not re-folded through the measure -- the
-            # density's points are already aggregated and every built-in measure
-            # aggregates strictly per density.
-            for run_index, record in finished.trials:
-                if isinstance(record, TrialFailure):
-                    crew.emit("on_trial_error", spec, density, run_index, record)
-                else:
-                    message = measure.progress_line(
-                        spec.experiment_id, spec.runs, density, run_index, record
-                    )
-                    crew.emit("on_trial", spec, density, run_index, record, message)
-            per_density[density] = finished.points
-            crew.emit("on_density", spec, density, finished.points)
-            continue
-
-        def on_result(run_index: int, payload, density: float = density) -> None:
-            if isinstance(payload, TrialFailure):
-                crew.emit("on_trial_error", spec, density, run_index, payload)
-                return
-            message = measure.progress_line(spec.experiment_id, spec.runs, density, run_index, payload)
-            crew.emit("on_trial", spec, density, run_index, payload, message)
-
-        payloads = map_trials(
-            config,
-            metric,
-            density,
-            per_trial,
-            workers=workers,
-            on_result=on_result,
-            on_error=on_error,
-        )
-        failures = [payload for payload in payloads if isinstance(payload, TrialFailure)]
-        for payload in payloads:
-            if not isinstance(payload, TrialFailure):
-                measure.consume(state, density, payload)
-        points = measure.density_points(state, spec, density)
-        if failures:
-            points = {
-                name: replace(
-                    point, extra={**dict(point.extra), "failed_trials": float(len(failures))}
-                )
-                for name, point in points.items()
-            }
-        per_density[density] = points
-        crew.emit("on_density", spec, density, points)
-
-    # Assemble the monolithic result in the classic order (selector-major, density-minor),
-    # which keeps its tables and JSON byte-identical to the pre-engine harnesses.
-    for selector_name in spec.selectors:
+        state = measure.start(spec)
+        per_trial = measure.per_trial()
+        per_density: Dict[float, Dict[str, SeriesPoint]] = {}
         for density in spec.densities:
-            result.add_point(selector_name, per_density[density][selector_name])
-    for note in measure.notes(spec):
-        result.add_note(note)
+            finished = checkpoint.densities.get(density) if checkpoint is not None else None
+            if finished is not None:
+                # Replay the finished density from the checkpoint: same trial events (the
+                # progress message is re-derived from the recorded payload), same points, no
+                # recomputation.  Payloads are not re-folded through the measure -- the
+                # density's points are already aggregated and every built-in measure
+                # aggregates strictly per density.  (Checkpoints carry no telemetry, so a
+                # resumed run's counters cover only the densities it recomputes.)
+                for run_index, record in finished.trials:
+                    if isinstance(record, TrialFailure):
+                        crew.emit("on_trial_error", spec, density, run_index, record)
+                    else:
+                        message = measure.progress_line(
+                            spec.experiment_id, spec.runs, density, run_index, record
+                        )
+                        crew.emit("on_trial", spec, density, run_index, record, message)
+                per_density[density] = finished.points
+                crew.emit("on_density", spec, density, finished.points)
+                if registry is not None:
+                    crew.emit("on_metrics", spec, {"density": density, **registry.snapshot()})
+                continue
 
-    crew.emit("on_result", result)
-    return result
+            def on_result(run_index: int, payload, density: float = density) -> None:
+                # Trial telemetry envelopes are merged exactly here -- once per trial, in
+                # run order -- which is what makes the run registry's deterministic
+                # sections bit-identical serial vs REPRO_WORKERS=N.
+                payload = merge_trial(registry, payload)
+                if isinstance(payload, TrialFailure):
+                    crew.emit("on_trial_error", spec, density, run_index, payload)
+                    return
+                message = measure.progress_line(spec.experiment_id, spec.runs, density, run_index, payload)
+                crew.emit("on_trial", spec, density, run_index, payload, message)
+
+            payloads = map_trials(
+                config,
+                metric,
+                density,
+                per_trial,
+                workers=workers,
+                on_result=on_result,
+                on_error=on_error,
+                metrics=registry is not None,
+            )
+            payloads = [unwrap_payload(payload) for payload in payloads]
+            failures = [payload for payload in payloads if isinstance(payload, TrialFailure)]
+            for payload in payloads:
+                if not isinstance(payload, TrialFailure):
+                    measure.consume(state, density, payload)
+            points = measure.density_points(state, spec, density)
+            if failures:
+                points = {
+                    name: replace(
+                        point, extra={**dict(point.extra), "failed_trials": float(len(failures))}
+                    )
+                    for name, point in points.items()
+                }
+            per_density[density] = points
+            if registry is not None:
+                registry.count("engine.densities_completed")
+            crew.emit("on_density", spec, density, points)
+            if registry is not None:
+                crew.emit("on_metrics", spec, {"density": density, **registry.snapshot()})
+
+        # Assemble the monolithic result in the classic order (selector-major, density-minor),
+        # which keeps its tables and JSON byte-identical to the pre-engine harnesses.
+        for selector_name in spec.selectors:
+            for density in spec.densities:
+                result.add_point(selector_name, per_density[density][selector_name])
+        for note in measure.notes(spec):
+            result.add_note(note)
+
+        if registry is not None:
+            # The run-total snapshot (density=None) -- what the text sink's summary table
+            # and --profile-trials render.
+            crew.emit("on_metrics", spec, {"density": None, **registry.snapshot()})
+        crew.emit("on_result", result)
+        return result
+    finally:
+        if registry is not None:
+            obs.install(previous_registry)

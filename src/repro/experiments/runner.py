@@ -43,6 +43,8 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Un
 from repro.core.selection import AnsSelector, SelectionCache, SelectionResult, make_selector
 from repro.experiments.config import SweepConfig
 from repro.localview.networkgraph import NetworkGraph
+from repro.obs import runtime as obs
+from repro.obs.registry import MetricsRegistry, TrialTelemetry
 from repro.localview.view import LocalView
 from repro.metrics import Metric, UniformWeightAssigner
 from repro.registry import TOPOLOGY_MODELS
@@ -83,7 +85,8 @@ class Trial:
         semantics: like :meth:`views`, it describes the trial's network at build time.
         """
         if self._network_graph is None:
-            self._network_graph = NetworkGraph.from_network(self.network)
+            with obs.span("csr_build"):
+                self._network_graph = NetworkGraph.from_network(self.network)
         return self._network_graph
 
     def views(self) -> Dict[NodeId, LocalView]:
@@ -252,7 +255,8 @@ def build_trial(config: SweepConfig, metric: Metric, density: float, run_index: 
         seed=config.seed,
         weight_assigners=(assigner,),
     )
-    network = generator.generate(run_index)
+    with obs.span("topology_build"):
+        network = generator.generate(run_index)
     return Trial(
         config=config,
         metric=metric,
@@ -383,7 +387,13 @@ def _backoff_delay(attempt: int) -> float:
 
 
 def _execute_trial(
-    config: SweepConfig, metric: Metric, density: float, run_index: int, attempt: int, per_trial: Callable
+    config: SweepConfig,
+    metric: Metric,
+    density: float,
+    run_index: int,
+    attempt: int,
+    per_trial: Callable,
+    metrics: bool = False,
 ) -> object:
     """Build and measure one trial (attempt-aware so injected faults can target retries).
 
@@ -392,24 +402,46 @@ def _execute_trial(
     fault plans of :mod:`repro.testing.faults` are applied here (in whichever process the
     trial executes), which is how the fault-tolerance suite injects raises and worker
     kills without patching any production code.
+
+    With ``metrics=True`` the trial runs under a fresh per-trial
+    :class:`~repro.obs.registry.MetricsRegistry` (installed as the process's ambient
+    registry for the duration, restored in a ``finally`` so raising trials cannot leak
+    it) and returns a :class:`~repro.obs.registry.TrialTelemetry` envelope pairing the
+    payload with the registry's snapshot -- which is how worker processes serialize their
+    telemetry back for the engine's deterministic run-order merge.  Failed attempts
+    discard their partial registry: only the successful attempt's telemetry ships, so a
+    retried trial contributes exactly what an undisturbed one would.
     """
     if os.environ.get("REPRO_FAULTS"):
         from repro.testing.faults import apply_trial_faults
 
         apply_trial_faults(density, run_index, attempt)
-    return per_trial(build_trial(config, metric, density, run_index))
+    if not metrics:
+        return per_trial(build_trial(config, metric, density, run_index))
+    registry = MetricsRegistry()
+    previous = obs.install(registry)
+    try:
+        with registry.span("trial"):
+            trial = build_trial(config, metric, density, run_index)
+            with registry.span("measure"):
+                payload = per_trial(trial)
+    finally:
+        obs.install(previous)
+    registry.count("runner.trials", 1)
+    return TrialTelemetry(payload, registry.snapshot())
 
 
-def _trial_job(job: Tuple[SweepConfig, Metric, float, int, int, Callable]) -> object:
+def _trial_job(job: Tuple[SweepConfig, Metric, float, int, int, Callable, bool]) -> object:
     """Unpack one trial job inside the worker process and execute it."""
-    config, metric, density, run_index, attempt, per_trial = job
-    return _execute_trial(config, metric, density, run_index, attempt, per_trial)
+    config, metric, density, run_index, attempt, per_trial, metrics = job
+    return _execute_trial(config, metric, density, run_index, attempt, per_trial, metrics)
 
 
 def _give_up(
     density: float, run_index: int, attempts: int, exc: BaseException, on_error: str
 ) -> TrialFailure:
     """Turn an exhausted trial into a :class:`TrialFailure`, raising under ``fail``."""
+    obs.add("runner.trial_failures")
     failure = TrialFailure(
         density=density,
         run_index=run_index,
@@ -430,6 +462,7 @@ def _map_trials_serial(
     on_result: Optional[Callable],
     max_retries: int,
     on_error: str,
+    metrics: bool,
 ) -> List[object]:
     """The serial path, with the same retry/backoff/failure semantics as the supervisor.
 
@@ -441,13 +474,16 @@ def _map_trials_serial(
         attempt = 0
         while True:
             try:
-                result = _execute_trial(config, metric, density, run_index, attempt, per_trial)
+                result = _execute_trial(
+                    config, metric, density, run_index, attempt, per_trial, metrics
+                )
                 break
             except Exception as exc:  # noqa: BLE001 - KeyboardInterrupt et al. propagate
                 if attempt >= max_retries:
                     result = _give_up(density, run_index, attempt + 1, exc, on_error)
                     break
                 time.sleep(_backoff_delay(attempt))
+                obs.add("runner.retries")
                 attempt += 1
         if on_result is not None:
             on_result(run_index, result)
@@ -465,6 +501,7 @@ def map_trials(
     on_error: str = "fail",
     max_retries: Optional[int] = None,
     trial_timeout: Optional[float] = None,
+    metrics: bool = False,
 ) -> List[Union[object, TrialFailure]]:
     """Apply ``per_trial`` to every trial of one density and return the results in run order.
 
@@ -485,13 +522,19 @@ def map_trials(
     raises :class:`TrialExecutionError` and ``on_error="skip"`` records a
     :class:`TrialFailure` in the trial's slot of the returned list (also handed to
     ``on_result``).
+
+    ``metrics=True`` wraps each trial's execution in a per-trial telemetry registry (see
+    :func:`_execute_trial`); every successful slot of the returned list is then a
+    :class:`~repro.obs.registry.TrialTelemetry` envelope instead of the bare payload.
     """
     if on_error not in ("fail", "skip"):
         raise ValueError(f"on_error must be 'fail' or 'skip', got {on_error!r}")
     workers = resolve_workers(workers)
     max_retries = resolve_max_retries(max_retries)
     if workers == 1 or config.runs <= 1:
-        return _map_trials_serial(config, metric, density, per_trial, on_result, max_retries, on_error)
+        return _map_trials_serial(
+            config, metric, density, per_trial, on_result, max_retries, on_error, metrics
+        )
 
     trial_timeout = resolve_trial_timeout(trial_timeout)
     pool_size = min(workers, config.runs)
@@ -499,7 +542,7 @@ def map_trials(
     with multiprocessing.Pool(processes=pool_size) as pool:
 
         def submit(run_index: int, attempt: int):
-            job = (config, metric, density, run_index, attempt, per_trial)
+            job = (config, metric, density, run_index, attempt, per_trial, metrics)
             return pool.apply_async(_trial_job, (job,))
 
         pending = {run_index: submit(run_index, 0) for run_index in range(config.runs)}
@@ -524,6 +567,7 @@ def map_trials(
                     result = _give_up(density, run_index, attempt + 1, exc, on_error)
                     break
                 time.sleep(_backoff_delay(attempt))
+                obs.add("runner.retries")
                 attempt += 1
                 handle = submit(run_index, attempt)
             if on_result is not None:
@@ -570,6 +614,7 @@ def _await_handle(pool, handle, deadline: Optional[float]) -> Tuple[str, object]
         waited += _SUPERVISOR_POLL
         current = _pool_pids(pool)
         if pids is not None and current is not None and current != pids:
+            obs.add("runner.worker_respawns")
             return (
                 "error",
                 TimeoutError(
@@ -578,6 +623,7 @@ def _await_handle(pool, handle, deadline: Optional[float]) -> Tuple[str, object]
                 ),
             )
         if deadline is not None and waited >= deadline:
+            obs.add("runner.timeouts")
             return (
                 "error",
                 TimeoutError(

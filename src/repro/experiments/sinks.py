@@ -21,7 +21,12 @@ For each experiment the engine calls, in order:
    is a :class:`~repro.experiments.runner.TrialFailure`).
 3. ``on_density(spec, density, points)`` -- once per density, as soon as it is fully
    aggregated, with ``{selector_name: SeriesPoint}``.
-4. ``on_result(result)`` -- once, with the complete :class:`ExperimentResult`.
+4. ``on_metrics(spec, snapshot)`` -- only when telemetry is enabled (``--metrics`` /
+   ``REPRO_METRICS`` / ``run_experiment(metrics=True)``): a cumulative
+   :class:`~repro.obs.registry.MetricsRegistry` snapshot immediately after each
+   ``on_density`` (``snapshot["density"]`` names the density) and one final run-total
+   with ``density=None`` just before ``on_result``.  See ``docs/observability.md``.
+5. ``on_result(result)`` -- once, with the complete :class:`ExperimentResult`.
 
 ``on_warning(spec, message)`` may interleave anywhere after ``on_sweep_start``: the engine
 emits it when it quarantines a raising sink (see below).  A sink whose handler raises is
@@ -38,19 +43,22 @@ consumes.  Sinks must not mutate ``spec``, ``payload`` or ``points``.
 
 Built-ins (registered in :data:`repro.registry.SINKS`): ``text`` writes the fixed-width
 report at close, ``json`` the results-keyed JSON document at close, ``jsonl`` one
-self-describing JSON line per event *incrementally* (flushed per line), and ``progress``
-forwards progress messages to a writer callable.
+self-describing JSON line per event *incrementally* (flushed per line), ``progress``
+forwards progress messages to a writer callable, and ``metrics`` streams the telemetry
+snapshots of ``on_metrics`` as their own JSONL file.
 """
 
 from __future__ import annotations
 
 import json
 import sys
+import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, TextIO, Union
 
-from repro.experiments.reporting import write_json, write_report
+from repro.experiments.reporting import render_report, write_json, write_report
 from repro.experiments.results import ExperimentResult, SeriesPoint
+from repro.obs.report import render_metrics_summary
 from repro.registry import SINKS
 
 
@@ -72,6 +80,9 @@ class ResultSink:
     def on_density(self, spec, density: float, points: Dict[str, SeriesPoint]) -> None:
         pass
 
+    def on_metrics(self, spec, snapshot: dict) -> None:
+        """A cumulative telemetry snapshot (only emitted when telemetry is enabled)."""
+
     def on_result(self, result: ExperimentResult) -> None:
         pass
 
@@ -85,22 +96,59 @@ class ResultSink:
         self.close()
 
 
+def _format_duration(seconds: float) -> str:
+    """A short human-readable duration (``42.3s``, ``3m05s``, ``2h14m``)."""
+    if seconds < 60:
+        return f"{seconds:.1f}s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
 @SINKS.register("progress", description="forwards per-trial progress lines to a writer callable")
 class ProgressSink(ResultSink):
     """Adapter from the trial event stream to a ``write(message)`` callable.
 
     This is how the legacy ``progress=`` callbacks ride on the sink API: the engine wraps
     them in a ``ProgressSink``, and the CLIs build one writing to stderr unless ``--quiet``.
+
+    With ``throughput=True`` (on for the CLIs' stderr sink) each finished density also
+    reports the sweep's trials/sec and an ETA extrapolated from the completed densities'
+    share of wall-clock time.  Off by default: the numbers are wall-clock, so enabling
+    them makes otherwise-identical runs' progress streams differ (everything else a
+    ``ProgressSink`` writes is deterministic).  ``clock`` is injectable for tests.
     """
 
-    def __init__(self, write: Callable[[str], None]) -> None:
+    def __init__(
+        self,
+        write: Callable[[str], None],
+        throughput: bool = False,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
         self.write = write
+        self.throughput = throughput
+        self.clock = clock
+        self._started: Optional[float] = None
+        self._trials_seen = 0
+        self._densities_done = 0
+        self._densities_total = 0
+
+    def on_sweep_start(self, spec) -> None:
+        if self.throughput:
+            self._started = self.clock()
+            self._trials_seen = 0
+            self._densities_done = 0
+            self._densities_total = len(spec.densities)
 
     def on_trial(self, spec, density, run_index, payload, message) -> None:
+        self._trials_seen += 1
         if message is not None:
             self.write(message)
 
     def on_trial_error(self, spec, density, run_index, failure) -> None:
+        self._trials_seen += 1
         self.write(
             f"[{spec.experiment_id}] density={density:g} run={run_index + 1} FAILED "
             f"after {failure.attempts} attempt(s): {failure.error_type}: {failure.error}"
@@ -108,6 +156,20 @@ class ProgressSink(ResultSink):
 
     def on_warning(self, spec, message) -> None:
         self.write(f"warning: {message}")
+
+    def on_density(self, spec, density, points) -> None:
+        if not self.throughput or self._started is None:
+            return
+        self._densities_done += 1
+        elapsed = max(self.clock() - self._started, 1e-9)
+        rate = self._trials_seen / elapsed
+        remaining = self._densities_total - self._densities_done
+        eta = (elapsed / self._densities_done) * remaining
+        self.write(
+            f"[{spec.experiment_id}] density={density:g} finished "
+            f"({self._densities_done}/{self._densities_total} densities) | "
+            f"{rate:.1f} trials/s | ETA {_format_duration(eta)}"
+        )
 
 
 class MemorySink(ResultSink):
@@ -122,15 +184,34 @@ class MemorySink(ResultSink):
 
 @SINKS.register("text", description="fixed-width text report, written when the sink closes")
 class TextReportSink(MemorySink):
-    """Accumulates results and writes the stitched text report (as ``write_report``) at close."""
+    """Accumulates results and writes the stitched text report (as ``write_report``) at close.
+
+    When telemetry is enabled the run-total ``on_metrics`` snapshot of each experiment is
+    appended below the report as a human-readable summary table; with telemetry off (no
+    ``on_metrics`` events) the written file is byte-identical to the classic report.
+    """
 
     def __init__(self, path: Union[str, Path], header: str = "") -> None:
         super().__init__()
         self.path = Path(path)
         self.header = header
+        self._metrics: Dict[str, dict] = {}
+
+    def on_metrics(self, spec, snapshot) -> None:
+        # Snapshots are cumulative; keeping the latest per experiment leaves the
+        # run-total (density=None) one in place at close.
+        self._metrics[spec.experiment_id] = snapshot
 
     def close(self) -> None:
-        write_report(self.results, self.path, header=self.header)
+        if not self._metrics:
+            write_report(self.results, self.path, header=self.header)
+            return
+        sections = [render_report(self.results, header=self.header).rstrip("\n")]
+        for experiment_id in sorted(self._metrics):
+            summary = render_metrics_summary(self._metrics[experiment_id])
+            sections.append(f"[{experiment_id}] {summary}")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text("\n\n".join(sections) + "\n", encoding="utf-8")
 
 
 @SINKS.register("json", description="results keyed by experiment id as one JSON document at close")
@@ -246,6 +327,57 @@ class JsonlSink(ResultSink):
             self._stream = None
 
 
+class MetricsCapture(ResultSink):
+    """Collects every ``on_metrics`` snapshot in ``snapshots`` (tests, CLI summaries)."""
+
+    def __init__(self) -> None:
+        self.snapshots: List[dict] = []
+
+    def on_metrics(self, spec, snapshot) -> None:
+        self.snapshots.append(snapshot)
+
+    @property
+    def last(self) -> Optional[dict]:
+        """The most recent snapshot (the run-total one after a finished sweep)."""
+        return self.snapshots[-1] if self.snapshots else None
+
+
+@SINKS.register(
+    "metrics", description="one JSON line per on_metrics telemetry snapshot (--metrics)"
+)
+class MetricsJsonlSink(JsonlSink):
+    """Streams telemetry snapshots as their own JSONL file, one line per ``on_metrics``.
+
+    Each line carries ``event: "metrics"``, the ``experiment_id``, the snapshot's
+    ``density`` (``null`` on the final run-total line) and the four registry sections.
+    Kept separate from the main :class:`JsonlSink` stream so checkpoint files stay
+    byte-identical with telemetry on; the checkpoint loader would tolerate interleaved
+    ``metrics`` lines, but nothing needs to pay for them.  Deterministic sections of the
+    lines are bit-identical serial vs ``REPRO_WORKERS=N``; ``spans`` are wall-clock.
+    """
+
+    def on_sweep_start(self, spec) -> None:
+        pass
+
+    def on_trial(self, spec, density, run_index, payload, message) -> None:
+        pass
+
+    def on_trial_error(self, spec, density, run_index, failure) -> None:
+        pass
+
+    def on_warning(self, spec, message) -> None:
+        pass
+
+    def on_density(self, spec, density, points) -> None:
+        pass
+
+    def on_result(self, result: ExperimentResult) -> None:
+        pass
+
+    def on_metrics(self, spec, snapshot) -> None:
+        self._write({"event": "metrics", "experiment_id": spec.experiment_id, **snapshot})
+
+
 def stderr_progress_sink() -> ProgressSink:
-    """The CLIs' default progress sink (one line per trial to stderr)."""
-    return ProgressSink(lambda message: print(message, file=sys.stderr))
+    """The CLIs' default progress sink (one line per trial to stderr, with throughput)."""
+    return ProgressSink(lambda message: print(message, file=sys.stderr), throughput=True)

@@ -29,14 +29,26 @@ flushing the checkpoint stream and printing where it lives.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import List, Optional, Tuple
 
 from repro.experiments.checkpoint import Checkpoint, CheckpointError, load_checkpoint, spec_hash
 from repro.experiments.engine import run_experiment
 from repro.experiments.reporting import render_report
-from repro.experiments.sinks import JsonlSink, JsonSink, ResultSink, TextReportSink, stderr_progress_sink
+from repro.experiments.sinks import (
+    JsonlSink,
+    JsonSink,
+    MetricsCapture,
+    MetricsJsonlSink,
+    ResultSink,
+    TextReportSink,
+    stderr_progress_sink,
+)
 from repro.experiments.spec import ExperimentSpec
+from repro.obs import resolve_metrics
+from repro.obs.report import build_profile, render_metrics_summary
 from repro.registry import ALL_REGISTRIES, PRESETS
 
 
@@ -157,6 +169,29 @@ def build_parser() -> argparse.ArgumentParser:
         dest="jsonl_output",
         default=None,
         help="stream events incrementally to this JSONL file (per-density checkpoints)",
+    )
+
+    telemetry = parser.add_argument_group("telemetry (off by default; see docs/observability.md)")
+    telemetry.add_argument(
+        "--metrics",
+        action="store_true",
+        help="enable the telemetry layer (deterministic counters + wall-clock spans; "
+        "also via REPRO_METRICS=1) and print the end-of-run summary table",
+    )
+    telemetry.add_argument(
+        "--metrics-jsonl",
+        dest="metrics_jsonl",
+        default=None,
+        metavar="JSONL",
+        help="stream on_metrics telemetry snapshots to this JSONL file (implies --metrics)",
+    )
+    telemetry.add_argument(
+        "--profile-trials",
+        dest="profile_trials",
+        default=None,
+        metavar="JSON",
+        help="write the per-phase span-histogram profile of the run to this JSON file, "
+        "diffable against BENCH_selection.json timings (implies --metrics)",
     )
     parser.add_argument(
         "--workers",
@@ -285,6 +320,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"fresh sweep without --resume"
         )
 
+    try:
+        # --metrics/--metrics-jsonl/--profile-trials force telemetry on; otherwise the
+        # REPRO_METRICS environment variable decides (off when unset).
+        requested = bool(args.metrics or args.metrics_jsonl or args.profile_trials)
+        metrics_enabled = resolve_metrics(True if requested else None)
+    except ValueError as exc:
+        parser.error(str(exc))
+
     sinks: List[ResultSink] = []
     if not args.quiet:
         sinks.append(stderr_progress_sink())
@@ -304,6 +347,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         except OSError as exc:
             parser.error(f"cannot write the JSONL stream {jsonl_path}: {exc}")
         sinks.append(jsonl_sink)
+    metrics_capture: Optional[MetricsCapture] = None
+    metrics_sink: Optional[MetricsJsonlSink] = None
+    if metrics_enabled:
+        metrics_capture = MetricsCapture()
+        sinks.append(metrics_capture)
+        if args.metrics_jsonl:
+            metrics_sink = MetricsJsonlSink(args.metrics_jsonl)
+            try:
+                metrics_sink.ensure_writable()
+            except OSError as exc:
+                parser.error(f"cannot write the metrics JSONL stream {args.metrics_jsonl}: {exc}")
+            sinks.append(metrics_sink)
 
     # The JSONL sink streams incrementally and must keep its per-density checkpoints even
     # when the run dies -- that is its purpose -- so it closes unconditionally.  The text
@@ -316,6 +371,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             workers=args.workers,
             resume_from=checkpoint,
             on_error=args.on_error,
+            metrics=metrics_enabled,
         )
     except KeyboardInterrupt:
         # The finally below flushes and closes the checkpoint stream; tell the user where
@@ -334,12 +390,25 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         return 130
     finally:
+        # Both JSONL streams flush incrementally -- their lines surviving a dead run is
+        # the point -- so they close unconditionally.
         if jsonl_sink is not None:
             jsonl_sink.close()
+        if metrics_sink is not None:
+            metrics_sink.close()
     for sink in sinks:
-        if sink is not jsonl_sink:
+        if sink is not jsonl_sink and sink is not metrics_sink:
             sink.close()
+    if args.profile_trials and metrics_capture is not None and metrics_capture.last is not None:
+        profile_path = Path(args.profile_trials)
+        profile_path.parent.mkdir(parents=True, exist_ok=True)
+        profile_path.write_text(
+            json.dumps(build_profile(spec, metrics_capture.last), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
     print(render_report([result], header=f"spec={spec.experiment_id}"))
+    if metrics_capture is not None and metrics_capture.last is not None:
+        print(render_metrics_summary(metrics_capture.last))
     return 0
 
 

@@ -68,6 +68,7 @@ from repro.localview.compactgraph import specialized_kind
 from repro.localview.networkgraph import NetworkGraph, row_slots
 from repro.localview.paths import FirstHopResult
 from repro.metrics.base import Metric, MetricKind
+from repro.obs import runtime as obs
 from repro.utils.ids import NodeId
 
 _NEG_INF = -math.inf
@@ -83,17 +84,27 @@ def batched_all_first_hops(
     with exactly the payload the scalar auto dispatch produces, or None when the metric
     is not specialized / lacks an attribute, in which case callers fall back to the
     scalar path (which is trivially bit-identical to itself).
+
+    Telemetry (when enabled): each batched solve counts one
+    ``kernel.batched_dispatches`` plus ``kernel.batched_views`` per owner solved; an
+    unbatchable combination counts ``kernel.unbatchable_groups`` (its views then surface
+    as ``kernel.scalar_dispatches`` when the scalar auto path solves them).
     """
     kind = specialized_kind(metric)
     if kind == "additive" and metric.kind is MetricKind.ADDITIVE and metric.prefix_optimal:
         w_slots = ng.slot_values(metric)
-        if w_slots is None:
-            return None
-        return _batched_owner_dijkstra(ng, views, metric, w_slots)
-    if kind == "concave" and metric.kind is MetricKind.CONCAVE:
-        if ng.edge_values(metric) is None:
-            return None
-        return _batched_bottleneck_forest(ng, views, metric)
+        if w_slots is not None:
+            result = _batched_owner_dijkstra(ng, views, metric, w_slots)
+            obs.add("kernel.batched_dispatches")
+            obs.add("kernel.batched_views", len(views))
+            return result
+    elif kind == "concave" and metric.kind is MetricKind.CONCAVE:
+        if ng.edge_values(metric) is not None:
+            result = _batched_bottleneck_forest(ng, views, metric)
+            obs.add("kernel.batched_dispatches")
+            obs.add("kernel.batched_views", len(views))
+            return result
+    obs.add("kernel.unbatchable_groups")
     return None
 
 

@@ -55,6 +55,7 @@ from repro.localview.compactgraph import (
 )
 from repro.localview.view import LocalView
 from repro.metrics.base import Metric, MetricKind
+from repro.obs import runtime as obs
 from repro.utils.ids import NodeId
 
 from dataclasses import dataclass
@@ -238,7 +239,9 @@ def all_first_hops(
             # this cache, and only the batched kernels populate it: explicit-method
             # calls and scalar runs stay un-cached so the method-comparison tests and
             # the benchmark recorder keep measuring real solver work.
+            obs.add("kernel.primed_hits")
             return primed
+        obs.add("kernel.scalar_dispatches")
         if metric.kind is MetricKind.ADDITIVE and metric.prefix_optimal:
             method = "owner-dijkstra"
         elif metric.kind is MetricKind.CONCAVE:

@@ -36,6 +36,7 @@ from repro.localview.networkgraph import NetworkGraph
 from repro.localview.view import LocalView
 from repro.metrics.assignment import Edge, WeightAssigner
 from repro.mobility.models import TrajectoryStepper, WorldState
+from repro.obs import runtime as obs
 from repro.topology.network import Network
 from repro.topology.unit_disk import unit_disk_links
 from repro.utils.ids import NodeId
@@ -155,12 +156,18 @@ class DynamicTopology:
     def advance(self) -> StepDelta:
         """Advance one timestep, notify the step listeners and return what changed."""
         self.step_index += 1
-        world = self._stepper.step(self.step_interval)
-        target = self._target_links(world)
-        if self.incremental:
-            delta = self._advance_incremental(world, target)
-        else:
-            delta = self._rebuild(world, target)
+        with obs.span("mobility_step"):
+            world = self._stepper.step(self.step_interval)
+            target = self._target_links(world)
+            if self.incremental:
+                delta = self._advance_incremental(world, target)
+            else:
+                delta = self._rebuild(world, target)
+        obs.add("mobility.steps")
+        obs.add("mobility.links_added", len(delta.added))
+        obs.add("mobility.links_removed", len(delta.removed))
+        obs.add("mobility.links_reweighted", len(delta.reweighted))
+        obs.observe("mobility.dirty_owners", len(delta.dirty))
         for listener in self._listeners:
             listener(delta)
         return delta
@@ -204,9 +211,11 @@ class DynamicTopology:
         ng = self._network_graph
         if ng is not None:
             if added or removed:
-                ng.rebuild(self.network)
+                with obs.span("csr_rebuild"):
+                    ng.rebuild(self.network)
             elif reweighted:
-                ng.patch_weights(self.network, reweighted)
+                with obs.span("csr_patch"):
+                    ng.patch_weights(self.network, reweighted)
 
         if self._views is not None:
             views = self._views
@@ -215,9 +224,11 @@ class DynamicTopology:
                 # attribute dictionaries, single adjacency pass) beats per-owner rebuilds.
                 # The dict object stays the same -- views() hands out a live mapping and
                 # callers hold on to it across steps.
+                obs.add("mobility.view_wholesale_rebuilds")
                 views.clear()
                 views.update(LocalView.all_from_network(self.network, network_graph=ng))
             else:
+                obs.add("mobility.views_rebuilt", len(affected))
                 shared: Dict[int, dict] = {}
                 adjacency = graph.adj
                 for owner in affected:

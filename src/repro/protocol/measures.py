@@ -38,6 +38,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.metrics.assignment import canonical_edge
 from repro.mobility.measures import TimeSeriesMeasure
+from repro.obs import runtime as obs
 from repro.protocol.loss import LossModel
 from repro.protocol.simulator import ProtocolSimulator
 from repro.registry import MEASURES
@@ -113,8 +114,9 @@ def _protocol_trial(trial) -> dict:
         sims[name] = sim
 
     warmup = warmup_time(config.hello_interval, config.tc_interval)
-    for sim in sims.values():
-        sim.run_until(warmup)
+    with obs.span("protocol_sim"):
+        for sim in sims.values():
+            sim.run_until(warmup)
 
     previous_hops = {name: sims[name].next_hops(pairs) for name in selectors}
     matched: Dict[str, List[bool]] = {name: [] for name in selectors}
@@ -127,7 +129,8 @@ def _protocol_trial(trial) -> dict:
         horizon = warmup + step * config.step_interval
         for name in selectors:
             sim = sims[name]
-            sim.run_until(horizon)
+            with obs.span("protocol_sim"):
+                sim.run_until(horizon)
             analytic = {
                 node: frozenset(result.selected)
                 for node, result in trial.step_selections(name).items()
@@ -156,20 +159,51 @@ def _protocol_trial(trial) -> dict:
     convergence = {
         name: _convergence_series(link_churn, matched[name]) for name in selectors
     }
+    for sim in sims.values():
+        sim.record_telemetry()
     return {
         "node_count": node_count,
         "link_churn": link_churn,
         "convergence": convergence,
         "staleness": staleness,
         "flaps": flaps,
+        # Per-selector control-traffic truth (message counts + channel tx/delivery/loss),
+        # aggregated by _ProtocolMeasure into every density point's extra["control"].
+        "control": {name: sims[name].control_message_counts() for name in selectors},
     }
 
 
 class _ProtocolMeasure(TimeSeriesMeasure):
-    """Shared shape of the protocol measures: one simulated trial, three payload keys."""
+    """Shared shape of the protocol measures: one simulated trial, three payload keys.
+
+    Beyond the per-step series pipeline, every density point carries the summed
+    per-selector control-traffic counters of its trials in ``extra["control"]``
+    (hellos/TCs sent and forwarded, channel transmissions/deliveries/losses), so sinks
+    see the protocol *cost* next to the quality series it buys.
+    """
 
     def per_trial(self) -> Callable:
         return _protocol_trial
+
+    def start(self, spec) -> dict:
+        state = super().start(spec)
+        state["control"] = {
+            name: {d: {} for d in spec.densities} for name in spec.selectors
+        }
+        return state
+
+    def consume(self, state, density: float, payload: dict) -> None:
+        super().consume(state, density, payload)
+        for name, counts in payload.get("control", {}).items():
+            totals = state["control"][name][density]
+            for key, value in counts.items():
+                totals[key] = totals.get(key, 0) + value
+
+    def density_points(self, state, spec, density: float):
+        points = super().density_points(state, spec, density)
+        for name, point in points.items():
+            point.extra["control"] = dict(state["control"][name][density])
+        return points
 
     def notes(self, spec) -> List[str]:
         return [

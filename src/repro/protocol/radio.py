@@ -14,9 +14,10 @@ The radio owns the per-directed-link transmission counters that identify draws: 
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Callable, Dict, Tuple
 
+from repro.obs import runtime as obs
 from repro.olsr.messages import Packet
 from repro.protocol.loss import LossModel
 from repro.sim.engine import Simulator
@@ -36,6 +37,10 @@ class LossyRadioStatistics:
     deliveries: int = 0
     losses: int = 0
     undeliverable_unicasts: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """The counters as a plain dict (sweep ``extra`` payloads, telemetry)."""
+        return asdict(self)
 
 
 class LossyRadio:
@@ -86,3 +91,16 @@ class LossyRadio:
             self.deliver(dst, packet)
 
         self.simulator.schedule_in(self.loss_model.delay(src, dst, seq), deliver)
+
+    # ------------------------------------------------------------------ telemetry
+
+    def record_telemetry(self, prefix: str = "protocol.radio") -> None:
+        """Fold the channel counters into the ambient telemetry registry (if enabled).
+
+        Counter values are pure functions of the seeded event history, so they land in
+        the deterministic section of the registry snapshot.
+        """
+        if not obs.enabled():
+            return
+        for name, value in self.statistics.as_dict().items():
+            obs.add(f"{prefix}.{name}", value)

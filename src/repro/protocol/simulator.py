@@ -40,6 +40,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.core.selection import make_selector
 from repro.metrics.base import Metric
+from repro.obs import runtime as obs
 from repro.olsr.messages import HelloMessage, Packet, TcMessage
 from repro.olsr.node import OlsrNode
 from repro.protocol.loss import LossModel
@@ -287,3 +288,23 @@ class ProtocolSimulator:
         totals["deliveries"] = self.radio.statistics.deliveries
         totals["losses"] = self.radio.statistics.losses
         return totals
+
+    def record_telemetry(self) -> None:
+        """Fold this simulation's control-traffic truth into the ambient telemetry registry.
+
+        Called by the protocol measures when a per-selector simulation finishes: the
+        per-message-type counts (``protocol.hellos_sent`` etc.), the event queue's
+        ``protocol.events_processed`` and the channel's full
+        :meth:`~repro.protocol.radio.LossyRadioStatistics.as_dict` counters
+        (``protocol.radio.*``).  Everything recorded here is a pure function of the
+        seeded event history, i.e. deterministic serial vs ``REPRO_WORKERS``.  A no-op
+        while telemetry is off.
+        """
+        if not obs.enabled():
+            return
+        for name, value in self.control_message_counts().items():
+            if name in ("transmissions", "deliveries", "losses"):
+                continue  # already covered, with more detail, by protocol.radio.*
+            obs.add(f"protocol.{name}", value)
+        obs.add("protocol.events_processed", self.simulator.processed_events)
+        self.radio.record_telemetry()

@@ -163,5 +163,8 @@ class FaultySink(ResultSink):
     def on_density(self, spec, density, points) -> None:
         self._observe("on_density")
 
+    def on_metrics(self, spec, snapshot) -> None:
+        self._observe("on_metrics")
+
     def on_result(self, result) -> None:
         self._observe("on_result")
